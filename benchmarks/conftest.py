@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table/figure of the paper exactly once
+(``pedantic`` with a single round — these are end-to-end experiment
+reproductions, not micro-benchmarks) and asserts the paper's shape claims
+on the result.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``-s`` to also see the rendered tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Region invocations for the simulation-based figures: enough for steady
+#: state, small enough that the full harness finishes in a few minutes.
+BENCH_INVOCATIONS = 24
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+"""Ablation: comparators per functional unit (NACHOS fan-in contention).
+
+Section VII attributes bzip2's and sar-pfa-interp1's residual NACHOS
+slowdown to the single ``==?`` comparator arbitrating many MAY parents.
+This bench sweeps the comparator pool on the high-fan-in benchmarks: the
+contention should shrink monotonically, and the benefit should saturate
+(the checks stop being the bottleneck).
+"""
+
+from conftest import BENCH_INVOCATIONS, run_once
+
+from repro.cgra.placement import place_region
+from repro.compiler import compile_region
+from repro.memory import MemoryHierarchy
+from repro.sim import DataflowEngine, NachosBackend
+from repro.workloads import build_workload, get_spec
+
+PICKS = ("bzip2", "sar-pfa-interp1", "fft-2d")
+POOLS = (1, 2, 4, 8)
+
+
+def _sweep():
+    out = {}
+    for name in PICKS:
+        spec = get_spec(name)
+        cycles = {}
+        for n in POOLS:
+            workload = build_workload(spec)
+            compile_region(workload.graph)
+            hierarchy = MemoryHierarchy()
+            envs = workload.invocations(BENCH_INVOCATIONS)
+            for env in envs:
+                for op in workload.graph.memory_ops:
+                    hierarchy.l2.access(op.addr.evaluate(env), op.is_store)
+            engine = DataflowEngine(
+                workload.graph,
+                place_region(workload.graph),
+                hierarchy,
+                NachosBackend(comparators_per_fu=n),
+            )
+            cycles[n] = engine.run(envs).cycles
+        out[name] = cycles
+    return out
+
+
+def test_comparator_pool_ablation(benchmark):
+    results = run_once(benchmark, _sweep)
+    print()
+    header = "  ".join(f"{n}x" for n in POOLS)
+    print(f"{'benchmark':>16}  cycles at {header} comparators")
+    for name, cycles in results.items():
+        print(f"{name:>16}  " + "  ".join(str(cycles[n]) for n in POOLS))
+
+    for name, cycles in results.items():
+        # More comparators never hurt ...
+        assert cycles[8] <= cycles[1], name
+        # ... and the benefit saturates (8x buys little over 4x).
+        assert cycles[8] >= cycles[4] * 0.95, name
+    # The paper's fan-in benchmarks actually benefit from a second
+    # comparator (the contention is real).
+    assert any(cycles[4] < cycles[1] for cycles in results.values())

@@ -1,0 +1,23 @@
+"""Bench: the 135-region all-paths robustness study (extension)."""
+
+from conftest import run_once
+
+from repro.experiments import allpaths
+
+
+def test_allpaths(benchmark):
+    result = run_once(benchmark, allpaths.run, invocations=10, top_k=5)
+    print()
+    print(allpaths.render(result))
+
+    assert result.all_correct
+    # The hottest-path conclusions hold corpus-wide: the MAY-serialized
+    # group slows under NACHOS-SW on *weighted* aggregate too...
+    slow = set(result.slowdown_group)
+    assert {"soplex", "povray", "fft-2d", "bzip2", "histogram"} <= slow
+    # ...and NACHOS tracks the LSQ on every benchmark's weighted mix.
+    assert max(r.nachos_weighted_pct for r in result.rows) < 10.0
+    # Proven-safe benchmarks never join the slowdown group on any path.
+    by_name = {r.name: r for r in result.rows}
+    for name in ("gzip", "equake", "namd", "fluidanimate"):
+        assert all(p < 4.0 for p in by_name[name].per_path_sw), name

@@ -1,0 +1,25 @@
+"""Bench: regenerate the appendix's decentralized-checking limit model."""
+
+from conftest import run_once
+
+from repro.experiments import appendix_model
+
+
+def test_appendix_model(benchmark):
+    result = run_once(benchmark, appendix_model.run)
+    print()
+    print(appendix_model.render(result))
+
+    # Paper: breakeven at 6 MAY aliases per memory op with the
+    # conservative 3000 fJ vs 500 fJ costs.
+    assert result.model.breakeven_ratio == 6.0
+    # Paper: only ~7 benchmarks exceed ratio 1, all from the MAY-heavy
+    # group; everything else is deeply profitable.
+    over = set(result.over_ratio_1)
+    assert 3 <= len(over) <= 9
+    assert over <= {
+        "art", "bzip2", "soplex", "povray", "fft-2d",
+        "freqmine", "sar-pfa-interp1", "histogram",
+    }
+    profitable = sum(1 for r in result.rows if r.profitable)
+    assert profitable >= 20

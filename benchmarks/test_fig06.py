@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 6 (stage-1 MAY/MUST, top-5 paths)."""
+
+from conftest import run_once
+
+from repro.experiments import fig06
+
+
+def test_fig06(benchmark):
+    result = run_once(benchmark, fig06.run, top_k=5)
+    print()
+    print(fig06.render(result))
+
+    assert len(result.rows) == 27
+    # Paper: 7 of 27 workloads need no further analysis after stage 1.
+    assert result.workloads_fully_resolved >= 6
+    # Paper: in most unresolved workloads MAY dominates MUST.
+    unresolved = [r for r in result.rows if r.pct_may > 0]
+    assert sum(1 for r in unresolved if r.pct_may > r.pct_must) > len(unresolved) // 2
+    # The stage-4 benchmarks are full of stage-1 MAYs.
+    by_name = {r.name: r for r in result.rows}
+    for name in ("equake", "lbm"):
+        assert by_name[name].pct_may > 10.0

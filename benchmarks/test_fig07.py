@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 7 (stage-2 inter-procedural refinement)."""
+
+from conftest import run_once
+
+from repro.experiments import fig07
+
+
+def test_fig07(benchmark):
+    result = run_once(benchmark, fig07.run, top_k=5)
+    print()
+    print(fig07.render(result))
+
+    # Paper: ~10 workloads refined by stage 2.
+    assert len(result.refined_workloads) >= 5
+    by_name = {r.name: r for r in result.rows}
+    # The provenance-heavy workloads convert a large share of MAYs
+    # (paper: 20--80% in the five workloads where stage 2 shines).
+    strong = [
+        r for r in result.rows
+        if r.converted_pct >= 20.0
+    ]
+    assert len(strong) >= 4
+    assert by_name["fluidanimate"].converted_pct > 50.0

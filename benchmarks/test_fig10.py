@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 10 (%MEM vs %MAY scatter)."""
+
+from conftest import run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark):
+    result = run_once(benchmark, fig10.run)
+    print()
+    print(fig10.render(result))
+
+    assert len(result.rows) == 27
+    by_name = {r.name: r for r in result.rows}
+    # Memory-dominated benchmarks (paper: equake ~38%).
+    assert by_name["equake"].pct_mem > 25.0
+    assert by_name["blackscholes"].pct_mem == 0.0
+    # The NACHOS-SW slowdown group pairs high %MEM with high %MAY.
+    for name in ("soplex", "fft-2d"):
+        assert by_name[name].pct_may_ops > 40.0
+    # Stage-4-resolved benchmarks end with no MAY ops at all.
+    for name in ("equake", "lbm", "namd"):
+        assert by_name[name].pct_may_ops == 0.0

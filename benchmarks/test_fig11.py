@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 11 (NACHOS-SW vs OPT-LSQ performance)."""
+
+from conftest import BENCH_INVOCATIONS, run_once
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark):
+    result = run_once(benchmark, fig11.run, invocations=BENCH_INVOCATIONS)
+    print()
+    print(fig11.render(result))
+
+    assert result.all_correct
+    by_name = {r.name: r for r in result.rows}
+    # Paper: a MAY-serialized group slows down 18--100%.
+    for name in ("soplex", "povray", "fft-2d"):
+        assert by_name[name].slowdown_pct > 10.0, name
+    # Paper: several workloads speed up (LSQ load-to-use on hits).
+    assert len(result.speedup_group) >= 2
+    # Paper: most workloads stay close to the LSQ.
+    close = sum(1 for r in result.rows if abs(r.slowdown_pct) <= 10.0)
+    assert close >= 15

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 14 (MAY-alias fan-in distribution)."""
+
+from conftest import run_once
+
+from repro.experiments import fig14
+
+
+def test_fig14(benchmark):
+    result = run_once(benchmark, fig14.run)
+    print()
+    print(fig14.render(result))
+
+    # Paper: 9 workloads have only independent memory operations.
+    assert len(result.no_may_workloads) >= 9
+    # Paper: bzip2 / sar-pfa host the high fan-ins driving NACHOS's
+    # comparator contention; bzip2's peak is ~50 parents.
+    assert "bzip2" in result.high_fan_in_workloads
+    assert "sar-pfa-interp1" in result.high_fan_in_workloads
+    by_name = {r.name: r for r in result.rows}
+    assert by_name["bzip2"].max_fan_in >= 20

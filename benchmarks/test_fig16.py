@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 16 (MDEs: NACHOS vs baseline compiler)."""
+
+from conftest import run_once
+
+from repro.experiments import fig16
+
+
+def test_fig16(benchmark):
+    result = run_once(benchmark, fig16.run)
+    print()
+    print(fig16.render(result))
+
+    by_name = {r.name: r for r in result.rows}
+    # Paper: many workloads need no MDEs at all (15 with no MAY energy).
+    assert len(result.zero_mde_workloads) >= 10
+    # Stage-4 benchmarks collapse relative to the baseline compiler.
+    for name in ("equake", "lbm", "namd", "dwt53"):
+        assert by_name[name].fraction < 0.25, name
+    # The MAY-heavy trio needs the most MDEs (paper: >250 each).
+    heavy = sorted(result.rows, key=lambda r: r.nachos_mdes, reverse=True)[:3]
+    assert {r.name for r in heavy} & {"bzip2", "fft-2d", "povray", "histogram"}

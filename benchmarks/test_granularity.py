@@ -1,0 +1,24 @@
+"""Bench: Table I quantified — in-order memory vs LSQ vs NACHOS."""
+
+from conftest import BENCH_INVOCATIONS, run_once
+
+from repro.experiments import granularity
+
+
+def test_granularity(benchmark):
+    result = run_once(benchmark, granularity.run, invocations=BENCH_INVOCATIONS)
+    print()
+    print(granularity.render(result))
+
+    by_name = {r.name: r for r in result.rows}
+    # The CFU class (strict in-order memory) collapses on memory-parallel
+    # regions — the granularity benefit Table I credits NACHOS with.
+    assert result.mean_serial_slowdown > 50.0
+    for name in ("equake", "bzip2", "lbm"):
+        assert by_name[name].serial_slowdown_pct > 150.0, name
+    # Compute-only regions see no effect at all.
+    for name in ("blackscholes", "ferret"):
+        assert by_name[name].serial_slowdown_pct == 0.0, name
+    # Serialization is never *faster* than disambiguation.
+    for r in result.rows:
+        assert r.serial_cycles >= min(r.lsq_cycles, r.nachos_cycles), r.name

@@ -1,0 +1,31 @@
+"""Bench: the perfect-compiler limit study."""
+
+from conftest import BENCH_INVOCATIONS, run_once
+
+from repro.experiments import limit_study
+
+
+def test_limit_study(benchmark):
+    result = run_once(benchmark, limit_study.run, invocations=BENCH_INVOCATIONS)
+    print()
+    print(limit_study.render(result))
+
+    assert result.all_correct
+    by_name = {r.name: r for r in result.rows}
+
+    # Where our compiler already proves everything, the oracle adds
+    # nothing (the stage machinery is not the bottleneck).
+    for name in ("gzip", "equake", "lbm", "fluidanimate"):
+        assert by_name[name].compiler_gap_pct == 0.0, name
+
+    # Opaque-pointer benchmarks: a perfect compiler would close most of
+    # the NACHOS-SW gap (the ambiguity is static, just unprovable for
+    # LLVM-class analyses)...
+    for name in ("soplex", "bzip2", "fft-2d"):
+        assert by_name[name].compiler_gap_pct > 15.0, name
+        # ...and NACHOS lands within a few % of that ceiling.
+        assert abs(by_name[name].hardware_gap_pct) < 10.0, name
+
+    # Data-dependent conflicts: even the oracle static schedule loses to
+    # runtime checking — hardware assistance is fundamental here.
+    assert "histogram" in result.hardware_needed

@@ -1,0 +1,27 @@
+"""Bench: the causal %MAY sweep (Figure 10's correlation, made causal)."""
+
+from conftest import run_once
+
+from repro.experiments import may_sweep
+
+
+def test_may_sweep(benchmark):
+    result = run_once(benchmark, may_sweep.run, invocations=16)
+    print()
+    print(may_sweep.render(result))
+
+    assert result.all_correct
+    points = result.points
+    # %MAY is monotone in the opaque fraction by construction.
+    mays = [p.pct_may_pairs for p in points]
+    assert mays == sorted(mays)
+    # NACHOS-SW: no MAYs => parity with (or better than) the LSQ;
+    # all-MAY => dramatic serialization.
+    assert points[0].sw_slowdown_pct < 5.0
+    assert points[-1].sw_slowdown_pct > 50.0
+    # NACHOS stays within a whisker of the LSQ at *every* point — the
+    # pay-as-you-go claim in one line.
+    assert all(abs(p.nachos_slowdown_pct) < 10.0 for p in points)
+    # And its check cost scales with the uncertainty, not the worst case.
+    assert points[0].may_mdes == 0
+    assert points[-1].may_mdes > 50

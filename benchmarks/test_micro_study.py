@@ -1,0 +1,37 @@
+"""Bench: the idiom x system matrix over the microbenchmarks."""
+
+from conftest import BENCH_INVOCATIONS, run_once
+
+from repro.experiments import micro_study
+
+
+def test_micro_study(benchmark):
+    result = run_once(benchmark, micro_study.run, invocations=BENCH_INVOCATIONS)
+    print()
+    print(micro_study.render(result))
+
+    assert result.all_correct
+    by_name = {r.name: r for r in result.rows}
+
+    # Compiler-resolvable idioms: NACHOS(-SW) matches or beats the LSQ
+    # with zero MAY MDEs.
+    for name in ("stream_triad", "stencil3", "transpose", "gather"):
+        r = by_name[name]
+        assert r.may_mdes == 0, name
+        assert r.cycles["nachos"] <= r.cycles["opt-lsq"], name
+
+    # Data-dependent scatter: software-only serializes, the comparator
+    # recovers it.
+    scatter = by_name["scatter"]
+    assert scatter.may_mdes > 0
+    assert scatter.cycles["nachos-sw"] > scatter.cycles["nachos"]
+    assert scatter.cycles["nachos"] <= scatter.cycles["opt-lsq"] * 1.1
+
+    # Pointer chasing is serial everywhere — no scheme conjures MLP out
+    # of a dependence chain.
+    chase = by_name["pointer_chase"]
+    spread = max(chase.cycles.values()) / min(chase.cycles.values())
+    assert spread < 1.25
+
+    # Strict in-order memory loses wherever parallelism exists.
+    assert by_name["gather"].cycles["serial-mem"] > by_name["gather"].cycles["nachos"]

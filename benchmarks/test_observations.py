@@ -1,0 +1,25 @@
+"""Bench: Section IV's workload observations, measured."""
+
+from conftest import BENCH_INVOCATIONS, run_once
+
+from repro.experiments import observations
+
+
+def test_observations(benchmark):
+    result = run_once(benchmark, observations.run, invocations=BENCH_INVOCATIONS)
+    print()
+    print(observations.render(result))
+
+    # Observation 1: a notable fraction of apps promote >15% of their
+    # memory ops to the scratchpad (paper: 12 of 28 promote >20%).
+    assert len(result.heavy_promoters) >= 10
+    # Observation 2: heap/global accesses rarely conflict — the mean
+    # dynamic conflict density is tiny, which is why "a large % of LSQ
+    # checks are for independent operations".
+    assert result.mean_conflict_density < 0.15
+    # Observation 3: the suite spans the range that breaks fixed-size
+    # LSQs (paper: MLP 2-128, memory ops 0-38% of the region).
+    lo, hi = result.mlp_range
+    assert lo <= 4 and hi >= 32
+    mlo, mhi = result.mem_pct_range
+    assert mlo == 0.0 and mhi > 30.0

@@ -1,0 +1,24 @@
+"""Bench: the end-to-end offload study (hybrid executable bottom line)."""
+
+from conftest import run_once
+
+from repro.experiments import offload_study
+
+
+def test_offload_study(benchmark):
+    result = run_once(benchmark, offload_study.run, invocations=10, top_k=3)
+    print()
+    print(offload_study.render(result))
+
+    # Every benchmark offloads at least one path on the EDP metric —
+    # the CGRA's per-op energy sits an order of magnitude below the
+    # OOO's per-instruction overhead.
+    assert result.all_offload_something
+    by_name = {r.name: r for r in result.rows}
+    # Memory-parallel regions also gain wall-clock (the OOO can't
+    # sustain their MLP through a 32-entry LSQ window).
+    assert by_name["bzip2"].program_speedup > 1.0
+    # Program energy drops materially once the hot paths move over.
+    assert result.mean_program_energy_ratio < 0.8
+    for r in result.rows:
+        assert 0.0 < r.program_energy_ratio <= 1.001, r.name

@@ -1,0 +1,22 @@
+"""Bench: regenerate the Section IV-A scope-widening study."""
+
+from conftest import run_once
+
+from repro.experiments import scope_study
+
+
+def test_scope_study(benchmark):
+    result = run_once(benchmark, scope_study.run)
+    print()
+    print(scope_study.render(result))
+
+    # Paper: 12 of 27 benchmarks gain MAY relations when the scope
+    # widens; 5 gain more than 10x; bzip2/povray/soplex blow up worst
+    # (380x / 100x / 85x).
+    assert len(result.increased) >= 8
+    assert len(result.over_10x) >= 2
+    by_name = {r.name: r for r in result.rows}
+    worst3 = sorted(result.rows, key=lambda r: r.factor, reverse=True)[:3]
+    assert {r.name for r in worst3} & {"bzip2", "povray", "soplex"}
+    # Benchmarks whose callers only touch named globals gain nothing.
+    assert by_name["gzip"].added_may == 0

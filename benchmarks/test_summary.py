@@ -1,0 +1,15 @@
+"""Bench: the machine-checked claims summary — the reproduction's bottom line."""
+
+from conftest import BENCH_INVOCATIONS, run_once
+
+from repro.experiments import summary
+
+
+def test_summary(benchmark):
+    result = run_once(benchmark, summary.run, invocations=BENCH_INVOCATIONS)
+    print()
+    print(summary.render(result))
+
+    failed = [c.claim_id for c in result.checks if not c.passed]
+    assert result.all_passed, f"failed claims: {failed}"
+    assert len(result.checks) == 14

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table II (acceleration region characteristics)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, table2.run)
+    print()
+    print(table2.render(result))
+
+    assert len(result.rows) == 27
+    by_name = {r.name: r for r in result.rows}
+    # Shape anchors from the paper's table.
+    assert by_name["equake"].n_mem > 100          # memory dominated
+    assert by_name["blackscholes"].n_mem == 0     # compute only
+    assert by_name["ferret"].n_mem == 0
+    assert by_name["bzip2"].mlp == 128            # widest MLP
+    # 12 of 28 applications promote >20% of their memory ops (C5).
+    promoted = sum(1 for r in result.rows if r.pct_local > 15)
+    assert promoted >= 8

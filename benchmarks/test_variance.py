@@ -1,0 +1,22 @@
+"""Bench: seed-variance of the headline performance numbers."""
+
+from conftest import run_once
+
+from repro.experiments import variance
+
+
+def test_variance(benchmark):
+    result = run_once(benchmark, variance.run, invocations=12)
+    print()
+    print(variance.render(result))
+
+    assert result.all_correct
+    by_name = {r.name: r for r in result.rows}
+    # The MAY-serialized conclusions survive every seed.
+    for name in ("soplex", "histogram", "bzip2"):
+        assert all(x > 10.0 for x in by_name[name].sw_samples), name
+    # The proven-safe benchmark never slows under any seed.
+    assert all(x < 4.0 for x in by_name["equake"].sw_samples)
+    # NACHOS stays in the LSQ's class across all seeds and benches.
+    for r in result.rows:
+        assert all(abs(x) < 12.0 for x in r.nachos_samples), r.name

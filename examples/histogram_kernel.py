@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Data-dependent indices: a histogram update kernel.
+
+``hist[bucket[i]] += w[i]`` is the canonical pattern no static alias
+analysis can resolve — the store address depends on *loaded data*.  The
+paper's histogram benchmark lives in this regime: every pair of updates
+MAY alias, and whether they actually conflict depends on the input's
+bucket distribution.
+
+This example builds an 8-way unrolled histogram update, then sweeps the
+*conflict rate* (how often two updates in one invocation hit the same
+bucket) by shrinking the bucket range, and shows how the three systems
+respond:
+
+* OPT-LSQ: flat — it always pays the CAM, conflicts or not.
+* NACHOS-SW: flat and slowest — it always serializes.
+* NACHOS: pay-as-you-go — fast when conflicts are rare, converging to
+  NACHOS-SW-like behaviour as every check starts failing.
+
+Run:  python examples/histogram_kernel.py
+"""
+
+import random
+
+from repro import AffineExpr, MemObject, RegionBuilder, Sym, compile_region
+from repro.cgra.placement import place_region
+from repro.memory import MemoryHierarchy
+from repro.sim import (
+    DataflowEngine,
+    NachosBackend,
+    NachosSWBackend,
+    OptLSQBackend,
+    golden_execute,
+)
+
+UNROLL = 8
+N_INVOCATIONS = 60
+
+
+def build_kernel():
+    """8-way unrolled ``hist[bucket[i+k]] += w[i+k]``."""
+    hist = MemObject("hist", 64 * 1024, base_addr=0x100000)
+    weights = MemObject("w", 64 * 1024, base_addr=0x200000)
+    b = RegionBuilder("histogram")
+    syms = [Sym(f"bkt{k}") for k in range(UNROLL)]
+    i = b.input("i")
+    for k, sym in enumerate(syms):
+        # The bucket index arrives from memory: an opaque Sym.
+        gep = b.gep(i, name=f"agen{k}")
+        w_ld = b.load(weights, AffineExpr.constant(k * 8), inputs=[gep])
+        h_ld = b.load(hist, AffineExpr.of(syms={sym: 8}), inputs=[gep])
+        acc = b.add(h_ld, w_ld, name=f"acc{k}")
+        b.store(hist, AffineExpr.of(syms={sym: 8}), value=acc, inputs=[gep])
+    return b.build(), syms
+
+
+def trace(syms, n_buckets, seed=7):
+    rng = random.Random(seed)
+    return [
+        {s.name: rng.randrange(n_buckets) for s in syms}
+        for _ in range(N_INVOCATIONS)
+    ]
+
+
+def simulate(system, envs):
+    graph, _ = build_kernel()
+    if system == "opt-lsq":
+        backend = OptLSQBackend()
+        graph.clear_mdes()
+    else:
+        compile_region(graph)
+        backend = NachosSWBackend() if system == "nachos-sw" else NachosBackend()
+    engine = DataflowEngine(graph, place_region(graph), MemoryHierarchy(), backend)
+    sim = engine.run(envs)
+    assert golden_execute(graph, envs).matches(sim.load_values, sim.memory_image)
+    return sim
+
+
+def main():
+    graph, syms = build_kernel()
+    result = compile_region(graph)
+    print(
+        f"Kernel: {len(graph)} ops, {len(graph.memory_ops)} memory ops, "
+        f"{len(result.may_mdes)} MAY MDEs (all pairs ambiguous)\n"
+    )
+    print(f"{'buckets':>8} {'conflicts':>10} | {'opt-lsq':>8} {'nachos-sw':>10} "
+          f"{'nachos':>8} | {'==? checks':>10} {'rt-fwds':>8}")
+    for n_buckets in (4096, 256, 32, 8, 2):
+        envs = trace(syms, n_buckets)
+        sims = {s: simulate(s, envs) for s in ("opt-lsq", "nachos-sw", "nachos")}
+        stats = sims["nachos"].backend_stats
+        print(
+            f"{n_buckets:>8} {stats.comparator_conflicts:>10} | "
+            f"{sims['opt-lsq'].cycles:>8} {sims['nachos-sw'].cycles:>10} "
+            f"{sims['nachos'].cycles:>8} | {stats.comparator_checks:>10} "
+            f"{stats.runtime_forwards:>8}"
+        )
+    print(
+        "\nFewer buckets => more real conflicts => NACHOS degrades gracefully"
+        "\ntoward serialization (and forwards exact store->load conflicts),"
+        "\nwhile the compiler-only scheme pays the worst case everywhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Quickstart: compile and simulate one hand-written acceleration region.
+
+Builds a small dataflow region with three flavors of memory ambiguity —
+provably-disjoint arrays, an exact store-to-load dependence, and an
+opaque pointer the compiler cannot resolve — then:
+
+1. runs the NACHOS-SW alias pipeline and prints the labels and MDEs,
+2. simulates the region under all three systems (OPT-LSQ / NACHOS-SW /
+   NACHOS) and prints cycles, energy, and the correctness check.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AffineExpr,
+    AliasLabel,
+    IVar,
+    MemObject,
+    PointerParam,
+    RegionBuilder,
+    compile_region,
+)
+from repro.cgra.placement import place_region
+from repro.memory import MemoryHierarchy
+from repro.sim import (
+    DataflowEngine,
+    NachosBackend,
+    NachosSWBackend,
+    OptLSQBackend,
+    golden_execute,
+)
+
+
+def build_region():
+    """A toy kernel:  *p = x ;  b[i] = a[i] + b[i] ;  a[i] = b[i'] * 2.
+
+    The store through ``p`` (an escaped pointer the compiler cannot
+    trace) is the paper's motivating hazard: it *might* touch ``a`` or
+    ``b``, so a software-only scheme must stall every younger load
+    behind it, while NACHOS just compares the addresses at runtime.
+    """
+    a = MemObject("a", 64 * 1024, base_addr=0x10000)
+    b_arr = MemObject("b", 64 * 1024, base_addr=0x30000)
+    hidden = MemObject("hidden", 4096, base_addr=0x50000)
+    # A pointer whose allocation site the compiler cannot see.
+    p = PointerParam("p", runtime_object=hidden, provenance=None)
+    i = IVar("i", 512)
+
+    b = RegionBuilder("quickstart")
+    x = b.input("x")
+    two = b.const(2)
+    st_p = b.store(p, AffineExpr.constant(0), value=x, name="st *p")
+    ld_a = b.load(a, AffineExpr.of(ivs={i: 8}), name="ld a[i]")
+    ld_b0 = b.load(b_arr, AffineExpr.of(ivs={i: 8}), name="ld b[i]")
+    s = b.add(ld_a, ld_b0, name="a[i]+b[i]")
+    st_b = b.store(b_arr, AffineExpr.of(ivs={i: 8}), value=s, name="st b[i]")
+    ld_b = b.load(b_arr, AffineExpr.of(ivs={i: 8}), name="ld b[i]'")
+    prod = b.mul(ld_b, two, name="b[i]'*2")
+    st_a = b.store(a, AffineExpr.of(ivs={i: 8}), value=prod, name="st a[i]")
+    return b.build()
+
+
+def main():
+    graph = build_region()
+    print(f"Region '{graph.name}': {len(graph)} ops, "
+          f"{len(graph.memory_ops)} memory ops\n")
+
+    # ------------------------------------------------------------------
+    # Compile: four-stage alias analysis + MDE insertion.
+    # ------------------------------------------------------------------
+    result = compile_region(graph)
+    print("Pairwise alias labels:")
+    ops = {op.op_id: op for op in graph.memory_ops}
+    for (older, younger), label in result.final_labels:
+        print(f"  ({ops[older].name!r:12} -> {ops[younger].name!r:12})  {label.value.upper()}")
+    print("\nMemory dependency edges (MDEs) the fabric must enforce:")
+    for edge in result.mdes:
+        print(f"  {ops[edge.src].name!r} --{edge.kind.value.upper()}--> {ops[edge.dst].name!r}")
+
+    # ------------------------------------------------------------------
+    # Simulate the three systems.
+    # ------------------------------------------------------------------
+    envs = [{"i": k % 512} for k in range(50)]
+    print(f"\nSimulating {len(envs)} invocations:")
+    print(f"{'system':>10}  {'cycles':>8}  {'energy (pJ)':>12}  {'correct':>7}")
+    for name, backend_cls, use_mdes in (
+        ("opt-lsq", OptLSQBackend, False),
+        ("nachos-sw", NachosSWBackend, True),
+        ("nachos", NachosBackend, True),
+    ):
+        g = build_region()
+        if use_mdes:
+            compile_region(g)
+        engine = DataflowEngine(
+            g, place_region(g), MemoryHierarchy(), backend_cls()
+        )
+        sim = engine.run(envs)
+        golden = golden_execute(g, envs)
+        ok = golden.matches(sim.load_values, sim.memory_image)
+        print(f"{name:>10}  {sim.cycles:>8}  {sim.total_energy/1e3:>12.1f}  {'yes' if ok else 'NO':>7}")
+
+    print("\nThe opaque store forces MAY edges onto every younger access:"
+          "\nNACHOS-SW serializes them (slower than the LSQ); NACHOS checks"
+          "\nthe addresses at runtime (==?) and recovers the parallelism —"
+          "\nat a fraction of the LSQ's energy.")
+
+
+if __name__ == "__main__":
+    main()

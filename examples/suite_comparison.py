@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Run a slice of the paper's 27-benchmark study end to end.
+
+Picks one benchmark from each behavioural group of the paper:
+
+* ``gzip``      — stage-1 perfect: compiler proves everything, no MDEs,
+* ``equake``    — stage-4 (polyhedral) rescue of a memory-bound region,
+* ``soplex``    — opaque pointers: NACHOS-SW serializes, NACHOS recovers,
+* ``bzip2``     — high comparator fan-in (NACHOS's worst case),
+* ``histogram`` — data-dependent indices with real conflicts,
+
+and prints the Figure-11/15/17-style summary for each: performance of
+both NACHOS systems against the optimized LSQ, the disambiguation energy
+each system spends, and the dynamic check counts.
+
+Run:  python examples/suite_comparison.py
+"""
+
+from repro import compare_systems, get_spec
+from repro.workloads import build_workload
+
+PICKS = ["gzip", "equake", "soplex", "bzip2", "histogram"]
+INVOCATIONS = 30
+
+
+def main():
+    print(
+        f"{'benchmark':>10} | {'SW %':>7} {'NACHOS %':>8} | "
+        f"{'LSQ dis-nJ':>10} {'NACHOS dis-nJ':>13} {'saving':>7} | "
+        f"{'==?':>6} {'conflicts':>9}"
+    )
+    print("-" * 90)
+    for name in PICKS:
+        workload = build_workload(get_spec(name))
+        cmp = compare_systems(workload, invocations=INVOCATIONS)
+        assert cmp.all_correct, f"{name}: backend diverged from program order!"
+
+        lsq = cmp.runs["opt-lsq"].sim
+        nachos = cmp.runs["nachos"].sim
+        lsq_dis = lsq.energy_breakdown.disambiguation / 1e6
+        nachos_dis = nachos.energy_breakdown.disambiguation / 1e6
+        saving = 100.0 * (1 - nachos.total_energy / lsq.total_energy)
+        stats = nachos.backend_stats
+        print(
+            f"{name:>10} | {cmp.slowdown_pct('nachos-sw'):>+6.1f}% "
+            f"{cmp.slowdown_pct('nachos'):>+7.1f}% | "
+            f"{lsq_dis:>10.2f} {nachos_dis:>13.2f} {saving:>+6.1f}% | "
+            f"{stats.comparator_checks:>6} {stats.comparator_conflicts:>9}"
+        )
+    print(
+        "\n(percentages are vs OPT-LSQ, positive = slower; 'dis-nJ' is the\n"
+        " energy spent on memory disambiguation: LSQ bloom+CAM vs MDEs)"
+    )
+
+
+if __name__ == "__main__":
+    main()

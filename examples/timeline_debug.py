@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Watch a MAY chain serialize: per-op timelines under each system.
+
+Builds a small region where one opaque store casts MAY shadows over four
+independent loads, records per-operation completion times with the
+:class:`~repro.sim.TimelineRecorder`, and renders a text gantt of one
+invocation for each system.  The serialization under NACHOS-SW — every
+load completing strictly after the opaque store — is directly visible,
+as is NACHOS letting the loads finish early once the ``==?`` checks
+clear them.
+
+Run:  python examples/timeline_debug.py
+"""
+
+from repro import (
+    AffineExpr,
+    IVar,
+    MemObject,
+    PointerParam,
+    RegionBuilder,
+    compile_region,
+)
+from repro.cgra.placement import place_region
+from repro.memory import MemoryHierarchy
+from repro.sim import (
+    DataflowEngine,
+    NachosBackend,
+    NachosSWBackend,
+    OptLSQBackend,
+    TimelineRecorder,
+    render_timeline,
+)
+
+
+def build_region():
+    arrays = [
+        MemObject(f"arr{k}", 8192, base_addr=0x10000 + k * 0x10000)
+        for k in range(4)
+    ]
+    hidden = MemObject("hidden", 4096, base_addr=0x90000)
+    p = PointerParam("p", runtime_object=hidden, provenance=None)
+    i = IVar("i", 64)
+
+    b = RegionBuilder("timeline-demo")
+    x = b.input("x")
+    # The ambiguous store: its address chain is slow (FP divide), so the
+    # MAY resolution arrives late.
+    slow = b.fdiv(x, x, name="slow-agen")
+    gep = b.gep(slow)
+    b.store(p, AffineExpr.constant(0), value=x, inputs=[gep], name="st *p")
+    acc = None
+    for k, arr in enumerate(arrays):
+        ld = b.load(arr, AffineExpr.of(ivs={i: 8}), name=f"ld arr{k}[i]")
+        acc = ld if acc is None else b.add(acc, ld, name=f"sum{k}")
+    b.store(arrays[0], AffineExpr.of(const=8, ivs={i: 8}), value=acc, name="st out")
+    return b.build()
+
+
+def main():
+    for system, backend_cls, compiled in (
+        ("OPT-LSQ", OptLSQBackend, False),
+        ("NACHOS-SW", NachosSWBackend, True),
+        ("NACHOS", NachosBackend, True),
+    ):
+        graph = build_region()
+        if compiled:
+            compile_region(graph)
+        else:
+            graph.clear_mdes()
+        recorder = TimelineRecorder()
+        engine = DataflowEngine(
+            graph, place_region(graph), MemoryHierarchy(), backend_cls(),
+            recorder=recorder,
+        )
+        # Warm invocation 0, display invocation 1 (steady state).
+        engine.run([{"i": 0}, {"i": 1}])
+        print(f"=== {system} ===")
+        print(render_timeline(recorder.invocations[1], memory_only=True))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e . --no-use-pep517` on
+environments without the `wheel` package (no-network sandboxes)."""
+from setuptools import setup
+
+setup()

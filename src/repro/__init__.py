@@ -1,0 +1,83 @@
+"""repro — a reproduction of NACHOS (HPCA 2018).
+
+NACHOS is software-driven, hardware-assisted memory disambiguation for
+dataflow accelerators: an LLVM-style alias-analysis pipeline labels every
+pair of memory operations NO / MAY / MUST, the dataflow fabric enforces
+the proven orderings as 1-bit edges, and a decentralized ``==?``
+comparator checks the compiler's leftover MAY pairs at runtime — in place
+of a centralized load-store queue.
+
+Quick start::
+
+    from repro import build_workload, compare_systems, get_spec
+
+    workload = build_workload(get_spec("equake"))
+    result = compare_systems(workload, invocations=40)
+    print(result.slowdown_pct("nachos"))   # vs the OPT-LSQ baseline
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.ir`          — region dataflow-graph IR
+* :mod:`repro.programs`    — program model + NEEDLE-like extraction
+* :mod:`repro.compiler`    — the 4-stage NACHOS-SW alias pipeline
+* :mod:`repro.cgra`        — CGRA grid, placement, operand network
+* :mod:`repro.memory`      — L1/L2/DRAM hierarchy
+* :mod:`repro.sim`         — cycle engine + the three backends
+* :mod:`repro.energy`      — event-based energy model
+* :mod:`repro.workloads`   — the 27-benchmark synthetic suite
+* :mod:`repro.experiments` — one module per paper table/figure
+"""
+
+from repro.compiler import AliasLabel, AliasPipeline, PipelineConfig, compile_region
+from repro.experiments.common import compare_systems, run_system
+from repro.ir import (
+    AddressExpr,
+    AffineExpr,
+    DFGraph,
+    IVar,
+    MemObject,
+    MemorySpace,
+    Opcode,
+    PointerParam,
+    RegionBuilder,
+    Sym,
+)
+from repro.sim import (
+    DataflowEngine,
+    NachosBackend,
+    NachosSWBackend,
+    OptLSQBackend,
+    golden_execute,
+)
+from repro.workloads import SUITE, BenchmarkSpec, build_workload, get_spec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressExpr",
+    "AffineExpr",
+    "AliasLabel",
+    "AliasPipeline",
+    "BenchmarkSpec",
+    "DFGraph",
+    "DataflowEngine",
+    "IVar",
+    "MemObject",
+    "MemorySpace",
+    "NachosBackend",
+    "NachosSWBackend",
+    "Opcode",
+    "OptLSQBackend",
+    "PipelineConfig",
+    "PointerParam",
+    "RegionBuilder",
+    "SUITE",
+    "Sym",
+    "build_workload",
+    "compare_systems",
+    "compile_region",
+    "get_spec",
+    "golden_execute",
+    "run_system",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Diff two exported experiment results (regression tooling).
+
+``compare_results(old, new)`` walks the JSON payloads produced by
+:mod:`repro.experiments.export` and reports numeric drifts beyond a
+relative tolerance plus any structural changes — a lightweight way to
+gate accidental behaviour changes in CI or between library versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+
+@dataclass(frozen=True)
+class Drift:
+    path: str
+    old: Any
+    new: Any
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.path}: {self.old!r} -> {self.new!r}"
+
+
+def _walk(path: str, old: Any, new: Any, rel_tol: float, out: List[Drift]) -> None:
+    if isinstance(old, dict) and isinstance(new, dict):
+        for key in sorted(set(old) | set(new)):
+            if key not in old:
+                out.append(Drift(f"{path}.{key}", "<absent>", new[key]))
+            elif key not in new:
+                out.append(Drift(f"{path}.{key}", old[key], "<absent>"))
+            else:
+                _walk(f"{path}.{key}", old[key], new[key], rel_tol, out)
+        return
+    if isinstance(old, list) and isinstance(new, list):
+        if len(old) != len(new):
+            out.append(Drift(f"{path}.len", len(old), len(new)))
+        for k, (a, b) in enumerate(zip(old, new)):
+            _walk(f"{path}[{k}]", a, b, rel_tol, out)
+        return
+    if isinstance(old, bool) or isinstance(new, bool):
+        if old != new:
+            out.append(Drift(path, old, new))
+        return
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        scale = max(abs(old), abs(new))
+        if scale == 0:
+            return
+        if abs(old - new) / scale > rel_tol:
+            out.append(Drift(path, old, new))
+        return
+    if old != new:
+        out.append(Drift(path, old, new))
+
+
+def compare_results(
+    old: dict, new: dict, rel_tol: float = 0.05
+) -> List[Drift]:
+    """Drifts between two ``result_to_dict`` payloads.
+
+    Numeric leaves within ``rel_tol`` relative difference are considered
+    equal; everything else (strings, booleans, missing keys, length
+    changes) must match exactly.
+    """
+    drifts: List[Drift] = []
+    _walk("$", old, new, rel_tol, drifts)
+    return drifts

@@ -1,0 +1,41 @@
+"""Small statistics helpers for experiment aggregation."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; every value must be positive."""
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have equal length")
+    total = sum(weights)
+    if total == 0:
+        return 0.0
+    return sum(v * w for v, w in zip(values, weights)) / total
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile, p in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= p <= 100:
+        raise ValueError("p must be in [0, 100]")
+    ordered = sorted(values)
+    if p == 0:
+        return ordered[0]
+    rank = math.ceil(p / 100 * len(ordered))
+    return ordered[rank - 1]

@@ -1,0 +1,173 @@
+"""Minimal dependency-free SVG bar charts for the paper's figures.
+
+The evaluation figures are (possibly stacked, possibly signed) bar
+charts over the 27 benchmarks.  This module renders exactly that — no
+matplotlib required, just an SVG string you can open in a browser.
+
+Supported shapes:
+
+* grouped bars (one or more series side by side per category),
+* stacked bars (energy breakdowns),
+* negative values (slowdown/speedup plots centered on zero).
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+#: A muted categorical palette (hex) used in series order.
+PALETTE = ("#4878a8", "#e1812c", "#3a923a", "#c03d3e", "#9372b2", "#857aab")
+
+
+@dataclass
+class Series:
+    name: str
+    values: List[float]
+
+
+@dataclass
+class BarChart:
+    """A bar chart over labeled categories."""
+
+    title: str
+    categories: List[str]
+    series: List[Series] = field(default_factory=list)
+    y_label: str = ""
+    stacked: bool = False
+    width: int = 960
+    height: int = 420
+
+    def add_series(self, name: str, values: Sequence[float]) -> "Series":
+        values = list(values)
+        if len(values) != len(self.categories):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(self.categories)} categories"
+            )
+        s = Series(name=name, values=values)
+        self.series.append(s)
+        return s
+
+    # ------------------------------------------------------------------
+    def _value_range(self) -> Tuple[float, float]:
+        lo, hi = 0.0, 0.0
+        if self.stacked:
+            for k in range(len(self.categories)):
+                pos = sum(s.values[k] for s in self.series if s.values[k] > 0)
+                neg = sum(s.values[k] for s in self.series if s.values[k] < 0)
+                hi = max(hi, pos)
+                lo = min(lo, neg)
+        else:
+            for s in self.series:
+                for v in s.values:
+                    hi = max(hi, v)
+                    lo = min(lo, v)
+        if hi == lo == 0.0:
+            hi = 1.0
+        pad = 0.08 * (hi - lo)
+        return lo - (pad if lo < 0 else 0), hi + pad
+
+    def to_svg(self) -> str:
+        if not self.series:
+            raise ValueError("chart has no series")
+        margin_l, margin_r, margin_t, margin_b = 64, 16, 48, 110
+        plot_w = self.width - margin_l - margin_r
+        plot_h = self.height - margin_t - margin_b
+        lo, hi = self._value_range()
+        span = hi - lo
+
+        def y_of(value: float) -> float:
+            return margin_t + plot_h * (1 - (value - lo) / span)
+
+        n = len(self.categories)
+        slot = plot_w / max(1, n)
+        group = slot * 0.8
+        per_bar = group / (1 if self.stacked else len(self.series))
+
+        parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="sans-serif" font-size="11">',
+            f'<text x="{self.width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{html.escape(self.title)}</text>',
+        ]
+        if self.y_label:
+            parts.append(
+                f'<text x="14" y="{margin_t + plot_h / 2}" text-anchor="middle" '
+                f'transform="rotate(-90 14 {margin_t + plot_h / 2})">'
+                f"{html.escape(self.y_label)}</text>"
+            )
+
+        # Axes and gridlines.
+        zero_y = y_of(0.0)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{zero_y:.1f}" x2="{margin_l + plot_w}" '
+            f'y2="{zero_y:.1f}" stroke="#333" stroke-width="1"/>'
+        )
+        for frac in (0.25, 0.5, 0.75, 1.0):
+            value = lo + frac * span
+            gy = y_of(value)
+            parts.append(
+                f'<line x1="{margin_l}" y1="{gy:.1f}" x2="{margin_l + plot_w}" '
+                f'y2="{gy:.1f}" stroke="#ddd" stroke-width="0.5"/>'
+                f'<text x="{margin_l - 6}" y="{gy + 4:.1f}" text-anchor="end">'
+                f"{value:.0f}</text>"
+            )
+
+        # Bars.
+        for k, category in enumerate(self.categories):
+            x0 = margin_l + k * slot + (slot - group) / 2
+            if self.stacked:
+                pos_base = neg_base = 0.0
+                for si, s in enumerate(self.series):
+                    v = s.values[k]
+                    if v == 0:
+                        continue
+                    base = pos_base if v > 0 else neg_base
+                    top = base + v
+                    y1, y2 = sorted((y_of(base), y_of(top)))
+                    parts.append(
+                        f'<rect x="{x0:.1f}" y="{y1:.1f}" width="{group:.1f}" '
+                        f'height="{max(0.5, y2 - y1):.1f}" '
+                        f'fill="{PALETTE[si % len(PALETTE)]}"/>'
+                    )
+                    if v > 0:
+                        pos_base = top
+                    else:
+                        neg_base = top
+            else:
+                for si, s in enumerate(self.series):
+                    v = s.values[k]
+                    y1, y2 = sorted((y_of(0.0), y_of(v)))
+                    parts.append(
+                        f'<rect x="{x0 + si * per_bar:.1f}" y="{y1:.1f}" '
+                        f'width="{max(0.5, per_bar - 1):.1f}" '
+                        f'height="{max(0.5, y2 - y1):.1f}" '
+                        f'fill="{PALETTE[si % len(PALETTE)]}"/>'
+                    )
+            # Rotated category label.
+            lx = x0 + group / 2
+            ly = margin_t + plot_h + 10
+            parts.append(
+                f'<text x="{lx:.1f}" y="{ly:.1f}" text-anchor="end" '
+                f'transform="rotate(-55 {lx:.1f} {ly:.1f})">'
+                f"{html.escape(category)}</text>"
+            )
+
+        # Legend.
+        lx = margin_l
+        for si, s in enumerate(self.series):
+            parts.append(
+                f'<rect x="{lx}" y="30" width="10" height="10" '
+                f'fill="{PALETTE[si % len(PALETTE)]}"/>'
+                f'<text x="{lx + 14}" y="39">{html.escape(s.name)}</text>'
+            )
+            lx += 14 + 7 * len(s.name) + 24
+
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_svg())

@@ -1,0 +1,58 @@
+"""Plain-text table / bar rendering for experiment reports.
+
+The paper's figures are bar charts over the 27 benchmarks; in a terminal
+we render them as fixed-width tables with an optional unicode bar column
+so "who wins, by roughly what factor" is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _stringify(row: Sequence) -> List[str]:
+    out = []
+    for cell in row:
+        if isinstance(cell, float):
+            out.append(f"{cell:.1f}")
+        else:
+            out.append(str(cell))
+    return out
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a fixed-width table with a header rule."""
+    str_rows = [_stringify(r) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[k]) for k, cell in enumerate(row))
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a GitHub-flavored markdown table."""
+    str_rows = [_stringify(r) for r in rows]
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def bar(value: float, scale: float, width: int = 24) -> str:
+    """A unicode bar proportional to ``value/scale`` (clipped)."""
+    if scale <= 0:
+        return ""
+    filled = int(round(min(1.0, max(0.0, value / scale)) * width))
+    return "#" * filled
+
+
+def pct(fraction: float) -> str:
+    return f"{fraction * 100:.1f}%"

@@ -1,0 +1,12 @@
+"""CGRA spatial-fabric model (Dyser-like 32x32 grid, paper Section III).
+
+Each functional unit of the grid hosts exactly one operation of the
+region's dataflow graph; values travel over a static mesh operand network
+whose per-link latency and energy the simulator charges per hop.  Memory
+operations talk to the cache at the grid edge.
+"""
+
+from repro.cgra.config import CGRAConfig
+from repro.cgra.placement import Placement, place_region
+
+__all__ = ["CGRAConfig", "Placement", "place_region"]

@@ -1,0 +1,26 @@
+"""CGRA geometry and network parameters (paper Figure 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CGRAConfig:
+    """A grid of homogeneous functional units with a static mesh."""
+
+    rows: int = 32
+    cols: int = 32
+    #: Cycles for an operand to traverse one mesh link.
+    hop_latency: int = 1
+    #: Links an operand traverses per Manhattan-distance unit (1:1 mesh).
+    #: The cache interface sits along row 0 (the grid edge).
+    mem_edge_row: int = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.rows * self.cols
+
+    @classmethod
+    def paper_default(cls) -> "CGRAConfig":
+        return cls(rows=32, cols=32)

@@ -1,0 +1,182 @@
+"""Greedy dataflow placement onto the CGRA grid.
+
+The paper reuses a previously released mapping pass; for the cycle model
+what matters is the *route latency* between communicating functional
+units and the link count (for network energy).  We use a deterministic
+greedy placer: operations are placed in topological (program) order, each
+at the free cell closest to the centroid of its already-placed producers;
+sources (inputs/constants) and memory operations are biased toward the
+memory edge of the grid, where the cache interface lives.
+
+Routes are Manhattan paths on the static mesh: latency = hops *
+``hop_latency`` and energy = hops * per-link energy (charged by the
+energy model, not here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cgra.config import CGRAConfig
+from repro.ir.graph import DFGraph
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class Placement:
+    """Maps op ids to grid cells and answers routing queries."""
+
+    config: CGRAConfig
+    cells: Dict[int, Cell] = field(default_factory=dict)
+
+    def cell_of(self, op_id: int) -> Cell:
+        return self.cells[op_id]
+
+    def hops(self, src: int, dst: int) -> int:
+        """Mesh hops between two placed operations."""
+        (r1, c1), (r2, c2) = self.cells[src], self.cells[dst]
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def route_latency(self, src: int, dst: int) -> int:
+        return self.hops(src, dst) * self.config.hop_latency
+
+    def edge_hops(self, op_id: int) -> int:
+        """Hops from an op's FU to the cache interface at the grid edge."""
+        r, _ = self.cells[op_id]
+        return abs(r - self.config.mem_edge_row)
+
+    def xy_route(self, src: int, dst: int):
+        """The directed links of the XY (column-then-row... X-first)
+        route between two ops: ((r, c), (r', c')) per hop."""
+        (r1, c1), (r2, c2) = self.cells[src], self.cells[dst]
+        links = []
+        r, c = r1, c1
+        step = 1 if c2 > c else -1
+        while c != c2:
+            links.append(((r, c), (r, c + step)))
+            c += step
+        step = 1 if r2 > r else -1
+        while r != r2:
+            links.append(((r, c), (r + step, c)))
+            r += step
+        return links
+
+    def edge_latency(self, op_id: int) -> int:
+        return self.edge_hops(op_id) * self.config.hop_latency
+
+    @property
+    def used_cells(self) -> int:
+        return len(self.cells)
+
+
+def _spiral(center: Cell, rows: int, cols: int) -> Iterable[Cell]:
+    """Cells in increasing Manhattan distance from *center* (deterministic)."""
+    cr, cc = center
+    max_d = rows + cols
+    for d in range(max_d + 1):
+        for dr in range(-d, d + 1):
+            dc = d - abs(dr)
+            for step in ((dr, dc), (dr, -dc)) if dc else ((dr, 0),):
+                r, c = cr + step[0], cc + step[1]
+                if 0 <= r < rows and 0 <= c < cols:
+                    yield (r, c)
+
+
+def _refine(placement: Placement, graph: DFGraph, sweeps: int = 2) -> None:
+    """Greedy hill-climbing refinement: move ops toward their partners.
+
+    For each op (in a deterministic order) compute its personal wirelength
+    — hops to every producer and consumer, plus the cache-edge distance
+    for memory ops — and relocate it to the best free cell near the
+    centroid of its partners when that strictly reduces the cost.  A few
+    sweeps recover most of what the constructive pass left on the table,
+    standing in for the annealing placers real CGRA mappers use.
+    """
+    cfg = placement.config
+    taken = set(placement.cells.values())
+    partners: Dict[int, List[int]] = {op.op_id: list(op.inputs) for op in graph.ops}
+    for op in graph.ops:
+        for src in op.inputs:
+            partners[src].append(op.op_id)
+
+    def cost(op_id: int, cell: Cell) -> int:
+        r, c = cell
+        total = 0
+        for other in partners[op_id]:
+            orr, occ = placement.cells[other]
+            total += abs(r - orr) + abs(c - occ)
+        if graph.op(op_id).is_memory:
+            total += 2 * abs(r - cfg.mem_edge_row)
+        return total
+
+    for _ in range(sweeps):
+        moved = False
+        for op in graph.ops:
+            op_id = op.op_id
+            others = partners[op_id]
+            if not others:
+                continue
+            cur = placement.cells[op_id]
+            cur_cost = cost(op_id, cur)
+            cr = sum(placement.cells[o][0] for o in others) // len(others)
+            cc = sum(placement.cells[o][1] for o in others) // len(others)
+            best, best_cost = cur, cur_cost
+            for cand in _spiral((cr, cc), cfg.rows, cfg.cols):
+                d = abs(cand[0] - cr) + abs(cand[1] - cc)
+                if d > 4:  # candidates beyond this cannot beat a local move
+                    break
+                if cand != cur and cand in taken:
+                    continue
+                cand_cost = cost(op_id, cand)
+                if cand_cost < best_cost:
+                    best, best_cost = cand, cand_cost
+            if best != cur:
+                taken.discard(cur)
+                taken.add(best)
+                placement.cells[op_id] = best
+                moved = True
+        if not moved:
+            break
+
+
+def place_region(graph: DFGraph, config: Optional[CGRAConfig] = None) -> Placement:
+    """Place every operation of *graph* onto the grid.
+
+    Raises ``ValueError`` if the region exceeds the grid capacity — the
+    regions of Table II (up to 559 ops) all fit a 32x32 fabric.
+    """
+    cfg = config or CGRAConfig.paper_default()
+    if len(graph) > cfg.capacity:
+        raise ValueError(
+            f"region '{graph.name}' has {len(graph)} ops; grid capacity is {cfg.capacity}"
+        )
+
+    placement = Placement(cfg)
+    taken: set = set()
+    edge = cfg.mem_edge_row
+    mid = cfg.cols // 2
+
+    def claim(preferred: Cell) -> Cell:
+        for cell in _spiral(preferred, cfg.rows, cfg.cols):
+            if cell not in taken:
+                taken.add(cell)
+                return cell
+        raise AssertionError("grid capacity checked above")
+
+    for op in graph.ops:
+        if op.inputs:
+            # Sit next to the producer whose value arrives last (the
+            # youngest input): that edge is the op's critical operand, so
+            # minimizing its route length minimizes the op's start time —
+            # the same greedy heuristic list-scheduling mappers use.
+            critical = max(op.inputs)
+            preferred = placement.cells[critical]
+        elif op.is_memory:
+            preferred = (edge, mid)
+        else:
+            preferred = (min(edge + 1, cfg.rows - 1), mid)
+        placement.cells[op.op_id] = claim(preferred)
+    _refine(placement, graph)
+    return placement

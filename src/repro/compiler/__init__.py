@@ -1,0 +1,39 @@
+"""The NACHOS-SW compiler: pairwise alias analysis and MDE insertion.
+
+This package is the software half of the paper's contribution.  It takes a
+region dataflow graph (:class:`repro.ir.DFGraph`) and produces:
+
+* a pairwise alias labeling (``NO`` / ``MAY`` / ``MUST``) refined through
+  four analysis stages mirroring Section V of the paper, and
+* the set of memory dependency edges (MDEs) the accelerator must enforce,
+  after stage-3 redundancy elimination.
+
+Entry point: :class:`~repro.compiler.pipeline.AliasPipeline`.
+"""
+
+from repro.compiler.labels import AliasLabel, AliasMatrix, PairKind, pair_kind
+from repro.compiler.pipeline import (
+    AliasPipeline,
+    PipelineConfig,
+    PipelineResult,
+    compile_region,
+)
+from repro.compiler.mde import insert_mdes
+from repro.compiler.report import explain, stage_census
+from repro.compiler.verify import OrderingViolation, verify_enforcement
+
+__all__ = [
+    "OrderingViolation",
+    "explain",
+    "stage_census",
+    "verify_enforcement",
+    "AliasLabel",
+    "AliasMatrix",
+    "AliasPipeline",
+    "PairKind",
+    "PipelineConfig",
+    "PipelineResult",
+    "compile_region",
+    "insert_mdes",
+    "pair_kind",
+]

@@ -1,0 +1,18 @@
+"""The four alias-analysis stages of NACHOS-SW (paper Section V)."""
+
+from repro.compiler.aliasing.symbolic import OffsetRelation, compare_offsets
+from repro.compiler.aliasing.stage1 import analyze_stage1
+from repro.compiler.aliasing.stage2 import refine_stage2
+from repro.compiler.aliasing.stage3 import EnforcementPlan, RetainedRelation, prune_stage3
+from repro.compiler.aliasing.stage4 import refine_stage4
+
+__all__ = [
+    "EnforcementPlan",
+    "OffsetRelation",
+    "RetainedRelation",
+    "analyze_stage1",
+    "compare_offsets",
+    "prune_stage3",
+    "refine_stage2",
+    "refine_stage4",
+]

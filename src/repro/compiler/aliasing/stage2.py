@@ -1,0 +1,51 @@
+"""Stage 2 — inter-procedural MAY -> NO refinement (paper Section V-C).
+
+LLVM 3.8's standard alias analyses stop at function boundaries.  Many MAY
+labels from stage 1 involve pointers that entered the region as arguments
+but were derived from global or local variables in the caller.  Stage 2
+traces the provenance of each opaque pointer back across the call
+boundary; when two operations trace to *different* source objects the
+pair becomes NO, and when they trace to the *same* object the offsets are
+re-compared with the base now known.
+
+Provenance is tractable here for the same reasons as in the paper: the
+accelerated path is invoked from a single call site and the workloads use
+no function pointers.  Pointers whose chain is lost (stored to memory and
+reloaded) keep ``provenance=None`` and remain MAY.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.compiler.aliasing.symbolic import DEFAULT_ENUMERATION_LIMIT, compare_offsets
+from repro.compiler.labels import AliasLabel, AliasMatrix
+from repro.ir.graph import DFGraph
+
+
+def refine_stage2(
+    graph: DFGraph,
+    matrix: AliasMatrix,
+    enumeration_limit: int = DEFAULT_ENUMERATION_LIMIT,
+    exact_pairs: "Set[Tuple[int, int]] | None" = None,
+) -> AliasMatrix:
+    """Return a refined copy of *matrix*; only MAY labels may change."""
+    refined = matrix.copy()
+    ops = {op.op_id: op for op in graph.memory_ops}
+    for older, younger in matrix.pairs(AliasLabel.MAY):
+        a = ops[older].addr
+        b = ops[younger].addr
+        base_a = a.interprocedural_base
+        base_b = b.interprocedural_base
+        if base_a is None or base_b is None:
+            continue  # provenance chain lost; stays MAY
+        if base_a.uid != base_b.uid:
+            refined.set(older, younger, AliasLabel.NO)
+            continue
+        rel = compare_offsets(
+            a, b, single_iv_only=True, enumeration_limit=enumeration_limit
+        )
+        refined.set(older, younger, rel.label)
+        if rel.exact and exact_pairs is not None:
+            exact_pairs.add((older, younger))
+    return refined

@@ -1,0 +1,82 @@
+"""Turn retained alias relations into memory dependency edges (MDEs).
+
+Edge selection follows Section V of the paper:
+
+* MUST ST->LD with a provably identical address and width  -> ``FORWARD``
+  (the memory dependency becomes a data dependency).  Each load accepts a
+  forward from at most one store; we pick the *youngest* exactly-matching
+  older store, and only when every store between it and the load is
+  provably NO-alias with the load — otherwise an intervening store could
+  overwrite the forwarded location at runtime and the forward would be
+  stale.  Partial overlaps and demoted candidates become ``ORDER``.
+* MUST LD->ST and ST->ST                                   -> ``ORDER``
+  (a 1-bit ready signal).
+* MAY (any kind)                                           -> ``MAY``
+  (serialized by NACHOS-SW, runtime-checked by NACHOS).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.compiler.aliasing.stage3 import EnforcementPlan
+from repro.compiler.labels import AliasLabel, AliasMatrix, PairKind
+from repro.ir.graph import DFGraph, MDEKind, MemoryDependencyEdge
+
+
+def _forward_is_safe(
+    graph: DFGraph, labels: AliasMatrix, store_id: int, load_id: int
+) -> bool:
+    """No store strictly between *store_id* and *load_id* may alias the load."""
+    for op in graph.stores:
+        if store_id < op.op_id < load_id:
+            if labels.get(op.op_id, load_id) is not AliasLabel.NO:
+                return False
+    return True
+
+
+def insert_mdes(
+    graph: DFGraph,
+    plan: EnforcementPlan,
+    exact_pairs: Set[Tuple[int, int]],
+    labels: AliasMatrix,
+    apply: bool = True,
+) -> List[MemoryDependencyEdge]:
+    """Build the MDE list for *plan* and (optionally) install it on *graph*."""
+    edges: List[MemoryDependencyEdge] = []
+
+    # Pick the forwarding store for each load: the youngest exact-match
+    # older store among retained MUST ST->LD relations that is safe to
+    # forward across.
+    forwarder: Dict[int, int] = {}
+    for rel in plan.retained:
+        if (
+            rel.label is AliasLabel.MUST
+            and rel.kind is PairKind.ST_LD
+            and (rel.older, rel.younger) in exact_pairs
+        ):
+            current = forwarder.get(rel.younger)
+            if current is not None and rel.older <= current:
+                continue
+            if _forward_is_safe(graph, labels, rel.older, rel.younger):
+                forwarder[rel.younger] = rel.older
+
+    for rel in plan.retained:
+        if rel.label is AliasLabel.MAY:
+            kind = MDEKind.MAY
+        elif rel.kind is PairKind.ST_LD and forwarder.get(rel.younger) == rel.older:
+            kind = MDEKind.FORWARD
+        else:
+            kind = MDEKind.ORDER
+        edges.append(MemoryDependencyEdge(rel.older, rel.younger, kind))
+
+    if apply:
+        graph.replace_mdes(edges)
+    return edges
+
+
+def count_by_kind(edges: Iterable[MemoryDependencyEdge]) -> Dict[MDEKind, int]:
+    out = {kind: 0 for kind in MDEKind}
+    for edge in edges:
+        out[edge.kind] += 1
+    return out

@@ -1,0 +1,77 @@
+"""Static verification of an enforcement plan (a mini pipecheck).
+
+After MDE insertion, every non-NO pair must be *ordered*: the younger
+operation reachable from the older one through edges that guarantee
+ordering under the target system.  For NACHOS that is data edges, ORDER
+and FORWARD edges, and the pair's own MAY edge (the runtime check
+orders it when it matters) — but **not** a chain of unrelated MAY edges.
+
+``verify_enforcement`` re-derives the ordering relation from scratch and
+returns the violating pairs; the pipeline's own stage 3 should never
+produce any (property-tested), and a hand-edited or deserialized MDE set
+can be audited with the same function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.compiler.labels import AliasLabel, AliasMatrix
+from repro.ir.graph import DFGraph, MDEKind
+
+
+@dataclass(frozen=True)
+class OrderingViolation:
+    older: int
+    younger: int
+    label: AliasLabel
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.label.value.upper()} pair ({self.older}, {self.younger}) "
+            "is not ordered by the enforcement plan"
+        )
+
+
+def _guaranteed_reachability(graph: DFGraph) -> Dict[int, Set[int]]:
+    """Reachability over data edges + ORDER/FORWARD MDEs only."""
+    succ: Dict[int, Set[int]] = {op.op_id: set() for op in graph.ops}
+    for op in graph.ops:
+        for src in op.inputs:
+            succ[src].add(op.op_id)
+    for edge in graph.mdes:
+        if edge.kind in (MDEKind.ORDER, MDEKind.FORWARD):
+            succ[edge.src].add(edge.dst)
+    reach: Dict[int, Set[int]] = {op.op_id: set() for op in graph.ops}
+    for op in reversed(graph.ops):
+        for nxt in succ[op.op_id]:
+            reach[op.op_id].add(nxt)
+            reach[op.op_id] |= reach[nxt]
+    return reach
+
+
+def verify_enforcement(
+    graph: DFGraph, labels: AliasMatrix
+) -> List[OrderingViolation]:
+    """Return every labeled pair the installed MDEs fail to order.
+
+    * MUST pairs need guaranteed ordering (data / ORDER / FORWARD path).
+    * MAY pairs need guaranteed ordering **or** their own direct MAY
+      edge (whose runtime check supplies the ordering when addresses
+      conflict).
+    """
+    reach = _guaranteed_reachability(graph)
+    direct_may: Set[Tuple[int, int]] = {
+        (e.src, e.dst) for e in graph.mdes if e.kind is MDEKind.MAY
+    }
+    violations: List[OrderingViolation] = []
+    for (older, younger), label in labels:
+        if label is AliasLabel.NO:
+            continue
+        if younger in reach[older]:
+            continue
+        if label is AliasLabel.MAY and (older, younger) in direct_may:
+            continue
+        violations.append(OrderingViolation(older, younger, label))
+    return violations

@@ -1,0 +1,13 @@
+"""Event-based energy accounting (Aladdin-style, paper Figure 3 costs)."""
+
+from repro.energy.config import EnergyConfig, EnergyEvent
+from repro.energy.accounting import EnergyBreakdown, EnergyLedger
+from repro.energy.model import DecentralizedCheckModel
+
+__all__ = [
+    "DecentralizedCheckModel",
+    "EnergyBreakdown",
+    "EnergyConfig",
+    "EnergyEvent",
+    "EnergyLedger",
+]

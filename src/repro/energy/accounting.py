@@ -1,0 +1,89 @@
+"""The energy ledger: counts events, prices them, groups them for plots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.energy.config import EnergyConfig, EnergyEvent
+
+#: Plot categories used by Figures 17 and 18.
+COMPUTE = "COMPUTE"
+MDE = "MDE"
+LSQ_BLOOM = "LSQ-BLOOM"
+LSQ_CAM = "LSQ-CAM"
+L1 = "L1"
+
+_CATEGORY_OF = {
+    EnergyEvent.ALU_INT: COMPUTE,
+    EnergyEvent.ALU_FP: COMPUTE,
+    EnergyEvent.NET_LINK: COMPUTE,
+    EnergyEvent.MDE_MAY_CHECK: MDE,
+    EnergyEvent.MDE_MUST: MDE,
+    EnergyEvent.MDE_FORWARD: MDE,
+    EnergyEvent.LSQ_BLOOM: LSQ_BLOOM,
+    EnergyEvent.LSQ_CAM_LOAD: LSQ_CAM,
+    EnergyEvent.LSQ_CAM_STORE: LSQ_CAM,
+    EnergyEvent.LSQ_FORWARD: LSQ_CAM,
+    EnergyEvent.L1_READ: L1,
+    EnergyEvent.L1_WRITE: L1,
+}
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy (fJ) per plot category."""
+
+    by_category: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.by_category.values())
+
+    def fraction(self, category: str) -> float:
+        return self.by_category.get(category, 0.0) / self.total if self.total else 0.0
+
+    @property
+    def disambiguation(self) -> float:
+        """Energy spent on memory ordering (MDE or LSQ machinery)."""
+        return (
+            self.by_category.get(MDE, 0.0)
+            + self.by_category.get(LSQ_BLOOM, 0.0)
+            + self.by_category.get(LSQ_CAM, 0.0)
+        )
+
+    @property
+    def disambiguation_fraction(self) -> float:
+        return self.disambiguation / self.total if self.total else 0.0
+
+
+class EnergyLedger:
+    """Accumulates event counts during a simulation."""
+
+    def __init__(self, config: Optional[EnergyConfig] = None) -> None:
+        self.config = config or EnergyConfig.paper_default()
+        self.counts: Dict[EnergyEvent, int] = {e: 0 for e in EnergyEvent}
+
+    def charge(self, event: EnergyEvent, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("cannot charge a negative event count")
+        self.counts[event] += count
+
+    # ------------------------------------------------------------------
+    def energy_of(self, event: EnergyEvent) -> float:
+        return self.counts[event] * self.config.cost_of(event)
+
+    @property
+    def total(self) -> float:
+        return sum(self.energy_of(e) for e in EnergyEvent)
+
+    def breakdown(self) -> EnergyBreakdown:
+        cats: Dict[str, float] = {}
+        for event in EnergyEvent:
+            cat = _CATEGORY_OF[event]
+            cats[cat] = cats.get(cat, 0.0) + self.energy_of(event)
+        return EnergyBreakdown(by_category=cats)
+
+    def merge(self, other: "EnergyLedger") -> None:
+        for event, count in other.counts.items():
+            self.counts[event] += count

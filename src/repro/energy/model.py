@@ -1,0 +1,51 @@
+"""The appendix's analytic limit model for decentralized checking.
+
+With ``N`` memory operations and per-check energies ``E_lsq`` (one 1-to-N
+CAM search) and ``E_may`` (one pairwise ==? comparison)::
+
+    TOT_lsq    = N * E_lsq
+    TOT_nachos ~= Pairs_may * E_may      (NO pairs are free; MUST pairs
+                                          are single-bit and rare)
+
+so decentralized checking wins whenever the average number of MAY aliases
+per memory operation, ``Pairs_may / N``, is below ``E_lsq / E_may`` (6 with
+the paper's conservative 3000 fJ vs 500 fJ costs).  The paper finds the
+ratio above 1 in only seven benchmarks and below 6 in all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DecentralizedCheckModel:
+    """Energy comparison of pairwise checks vs a centralized LSQ."""
+
+    e_lsq: float = 3000.0   # fJ per 1-to-N optimized-LSQ check
+    e_may: float = 500.0    # fJ per pairwise ==? comparison
+    e_must: float = 250.0   # fJ per 1-bit ORDER edge
+
+    @property
+    def breakeven_ratio(self) -> float:
+        """MAY aliases per memory op above which the LSQ is cheaper."""
+        return self.e_lsq / self.e_may
+
+    def lsq_energy(self, n_mem_ops: int) -> float:
+        return n_mem_ops * self.e_lsq
+
+    def nachos_energy(self, pairs_may: int, pairs_must: int = 0) -> float:
+        return pairs_may * self.e_may + pairs_must * self.e_must
+
+    def nachos_vs_lsq(self, n_mem_ops: int, pairs_may: int, pairs_must: int = 0) -> float:
+        """``TOT_nachos / TOT_lsq`` (< 1 means NACHOS is cheaper)."""
+        lsq = self.lsq_energy(n_mem_ops)
+        if lsq == 0:
+            return 0.0
+        return self.nachos_energy(pairs_may, pairs_must) / lsq
+
+    def profitable(self, n_mem_ops: int, pairs_may: int) -> bool:
+        """True when decentralized checking saves energy."""
+        if n_mem_ops == 0:
+            return True
+        return pairs_may / n_mem_ops < self.breakeven_ratio

@@ -1,0 +1,15 @@
+"""Experiment harness: one module per paper table / figure.
+
+Every module exposes a ``run(...)`` returning a typed result plus a
+``render(result)`` returning the printable table the paper reports.  The
+CLI (``nachos-repro``) and the pytest benchmarks drive these.
+"""
+
+from repro.experiments.common import (
+    SYSTEMS,
+    ComparisonResult,
+    compare_systems,
+    run_system,
+)
+
+__all__ = ["SYSTEMS", "ComparisonResult", "compare_systems", "run_system"]

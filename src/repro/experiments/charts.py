@@ -1,0 +1,148 @@
+"""Chart adapters: experiment results -> SVG bar charts.
+
+``chart_for(name, result)`` turns any experiment result into a
+:class:`~repro.analysis.svgplot.BarChart` mirroring the corresponding
+figure in the paper.  Used by the CLI's ``--svg-dir`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.svgplot import BarChart
+from repro.experiments import (
+    appendix_model,
+    fig06,
+    fig07,
+    fig09,
+    fig10,
+    fig11,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    scope_study,
+    table2,
+)
+
+
+def _stage_chart(result, title: str) -> BarChart:
+    chart = BarChart(title, [r.name for r in result.rows],
+                     y_label="% of pairwise relations", stacked=True)
+    chart.add_series("MAY", [r.pct_may for r in result.rows])
+    chart.add_series("MUST", [r.pct_must for r in result.rows])
+    return chart
+
+
+def chart_for(name: str, result) -> Optional[BarChart]:
+    """Build the figure-matching chart, or ``None`` for table artifacts."""
+    if name == "fig06":
+        return _stage_chart(result, "Figure 6: stage-1 MAY/MUST alias relations")
+    if name == "fig07":
+        return _stage_chart(result, "Figure 7: after stage-2 refinement")
+    if name == "fig09":
+        chart = BarChart(
+            "Figure 9: relations retained after stage 3",
+            [r.name for r in result.rows],
+            y_label="% of stage-1 relations",
+            stacked=True,
+        )
+        chart.add_series("MAY", [r.retained_may_pct for r in result.rows])
+        chart.add_series("MUST", [r.retained_must_pct for r in result.rows])
+        return chart
+    if name == "fig10":
+        chart = BarChart(
+            "Figure 10: %MEM vs %MAY (sorted by %MAY)",
+            [r.name for r in result.rows],
+            y_label="%",
+        )
+        chart.add_series("%MEM", [r.pct_mem for r in result.rows])
+        chart.add_series("%MAY ops", [r.pct_may_ops for r in result.rows])
+        return chart
+    if name in ("fig11", "fig12"):
+        title = (
+            "Figure 11: NACHOS-SW vs OPT-LSQ (%slowdown)"
+            if name == "fig11"
+            else "Figure 12: baseline compiler vs OPT-LSQ (%slowdown)"
+        )
+        chart = BarChart(title, [r.name for r in result.rows],
+                         y_label="% slowdown (negative = speedup)")
+        chart.add_series("slowdown %", [r.slowdown_pct for r in result.rows])
+        return chart
+    if name == "fig14":
+        chart = BarChart(
+            "Figure 14: MAY fan-in distribution",
+            [r.name for r in result.rows],
+            y_label="% of memory ops",
+            stacked=True,
+        )
+        for bucket in ("0", "1", "2", "3-4", "5+"):
+            chart.add_series(
+                bucket, [r.pct_by_bucket[bucket] for r in result.rows]
+            )
+        return chart
+    if name == "fig15":
+        chart = BarChart(
+            "Figure 15: NACHOS vs OPT-LSQ (%slowdown)",
+            [r.name for r in result.rows],
+            y_label="% slowdown (negative = speedup)",
+        )
+        chart.add_series("NACHOS", [r.nachos_pct for r in result.rows])
+        chart.add_series("NACHOS-SW", [r.nachos_sw_pct for r in result.rows])
+        return chart
+    if name == "fig16":
+        chart = BarChart(
+            "Figure 16: MDEs enforced vs baseline compiler",
+            [r.name for r in result.rows],
+            y_label="fraction of baseline MDEs",
+            stacked=True,
+        )
+        total = [max(1, r.baseline_mdes) for r in result.rows]
+        chart.add_series(
+            "MAY", [r.nachos_may / t for r, t in zip(result.rows, total)]
+        )
+        chart.add_series(
+            "MUST", [r.nachos_must / t for r, t in zip(result.rows, total)]
+        )
+        return chart
+    if name == "fig17":
+        chart = BarChart(
+            "Figure 17: NACHOS energy breakdown",
+            [r.name for r in result.rows],
+            y_label="% of total energy",
+            stacked=True,
+        )
+        chart.add_series("COMPUTE", [r.pct_compute for r in result.rows])
+        chart.add_series("MDE", [r.pct_mde for r in result.rows])
+        chart.add_series("L1", [r.pct_l1 for r in result.rows])
+        return chart
+    if name == "fig18":
+        chart = BarChart(
+            "Figure 18: OPT-LSQ energy breakdown",
+            [r.name for r in result.rows],
+            y_label="% of total energy",
+            stacked=True,
+        )
+        chart.add_series("COMPUTE", [r.pct_compute for r in result.rows])
+        chart.add_series("LSQ-BLOOM", [r.pct_bloom for r in result.rows])
+        chart.add_series("LSQ-CAM", [r.pct_cam for r in result.rows])
+        chart.add_series("L1", [r.pct_l1 for r in result.rows])
+        return chart
+    if name == "scope":
+        chart = BarChart(
+            "Section IV-A: MAY increase when scope widens",
+            [r.name for r in result.rows],
+            y_label="increase factor (x)",
+        )
+        chart.add_series("factor", [r.factor for r in result.rows])
+        return chart
+    if name == "appendix":
+        chart = BarChart(
+            "Appendix: MAY aliases per memory op (breakeven = 6)",
+            [r.name for r in result.rows],
+            y_label="MAY MDEs / memory op",
+        )
+        chart.add_series("MAY/op", [r.ratio for r in result.rows])
+        return chart
+    return None  # table2 and other tabular artifacts have no chart

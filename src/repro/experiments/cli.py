@@ -1,0 +1,161 @@
+"""``nachos-repro`` — regenerate any table or figure from the paper.
+
+Usage::
+
+    nachos-repro list                  # what can be regenerated
+    nachos-repro table2                # one artifact
+    nachos-repro fig11 fig15           # several
+    nachos-repro all                   # everything
+    nachos-repro fig11 --invocations 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    allpaths,
+    appendix_model,
+    fig06,
+    fig07,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    granularity,
+    limit_study,
+    may_sweep,
+    micro_study,
+    observations,
+    offload_study,
+    scope_study,
+    summary,
+    table2,
+    variance,
+)
+
+#: name -> (run, render, takes_invocations)
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable, bool]] = {
+    "table2": (table2.run, table2.render, False),
+    "fig06": (fig06.run, fig06.render, False),
+    "fig07": (fig07.run, fig07.render, False),
+    "fig09": (fig09.run, fig09.render, False),
+    "fig10": (fig10.run, fig10.render, False),
+    "fig11": (fig11.run, fig11.render, True),
+    "fig12": (fig12.run, fig12.render, True),
+    "fig14": (fig14.run, fig14.render, False),
+    "fig15": (fig15.run, fig15.render, True),
+    "fig16": (fig16.run, fig16.render, False),
+    "fig17": (fig17.run, fig17.render, True),
+    "fig18": (fig18.run, fig18.render, True),
+    "scope": (scope_study.run, scope_study.render, False),
+    "appendix": (appendix_model.run, appendix_model.render, False),
+    "granularity": (granularity.run, granularity.render, True),
+    "summary": (summary.run, summary.render, True),
+    "allpaths": (allpaths.run, allpaths.render, True),
+    "observations": (observations.run, observations.render, True),
+    "may-sweep": (may_sweep.run, may_sweep.render, True),
+    "offload": (offload_study.run, offload_study.render, True),
+    "micro": (micro_study.run, micro_study.render, True),
+    "limit": (limit_study.run, limit_study.render, True),
+    "variance": (variance.run, variance.render, True),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="nachos-repro",
+        description="Regenerate the tables and figures of the NACHOS paper (HPCA'18).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["list"],
+        help="experiment names (see 'list'), or 'all'",
+    )
+    parser.add_argument(
+        "--invocations",
+        type=int,
+        default=None,
+        help="region invocations per simulation (performance/energy figures)",
+    )
+    parser.add_argument(
+        "--svg-dir",
+        default=None,
+        help="also write each figure as an SVG bar chart into this directory",
+    )
+    parser.add_argument(
+        "--json-dir",
+        default=None,
+        help="also dump each result as JSON into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.experiments or ["list"]
+    if names == ["list"] or names == []:
+        print("Available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("  all")
+        return 0
+
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        run, render, takes_inv = EXPERIMENTS[name]
+        start = time.time()
+        if takes_inv and args.invocations is not None:
+            result = run(invocations=args.invocations)
+        else:
+            result = run()
+        print(render(result))
+        print(f"[{name}: {time.time() - start:.1f}s]")
+        if args.svg_dir:
+            _write_svg(name, result, args.svg_dir)
+        if args.json_dir:
+            _write_json(name, result, args.json_dir)
+        print()
+    return 0
+
+
+def _write_svg(name: str, result, directory: str) -> None:
+    import os
+
+    from repro.experiments.charts import chart_for
+
+    chart = chart_for(name, result)
+    if chart is None:
+        return
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.svg")
+    chart.save(path)
+    print(f"[wrote {path}]")
+
+
+def _write_json(name: str, result, directory: str) -> None:
+    import os
+
+    from repro.experiments.export import save_json
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    save_json(name, result, path)
+    print(f"[wrote {path}]")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

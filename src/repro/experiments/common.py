@@ -1,0 +1,155 @@
+"""Shared experiment plumbing: build, compile, place, simulate, compare.
+
+The three evaluated systems (paper Section III):
+
+* ``opt-lsq``    — no MDEs; the banked CAM + bloom LSQ orders memory,
+* ``nachos-sw``  — full 4-stage pipeline; MAY edges serialized,
+* ``nachos``     — full pipeline; MAY edges runtime-checked,
+
+plus the Figure 12 ablation:
+
+* ``baseline-sw`` — stages 1+3 only (no inter-procedural, no polyhedral),
+  enforced in software.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cgra.config import CGRAConfig
+from repro.cgra.placement import place_region
+from repro.compiler.pipeline import AliasPipeline, PipelineConfig, PipelineResult
+from repro.memory.config import HierarchyConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.backends.lsq import LSQConfig, OptLSQBackend
+from repro.sim.backends.nachos_hw import NachosBackend
+from repro.sim.backends.nachos_sw import NachosSWBackend
+from repro.sim.backends.spec_lsq import SpecLSQBackend
+from repro.sim.config import EngineConfig
+from repro.sim.engine import DataflowEngine
+from repro.sim.oracle import golden_execute
+from repro.sim.result import SimResult
+from repro.workloads.generator import Workload
+
+SYSTEMS = ("opt-lsq", "nachos-sw", "nachos")
+
+#: Default invocation count per region: enough to reach steady cache
+#: behaviour while keeping the whole 27-benchmark sweep fast.
+DEFAULT_INVOCATIONS = 40
+
+
+@dataclass
+class SystemRun:
+    """One system's simulation of one workload."""
+
+    system: str
+    sim: SimResult
+    pipeline: Optional[PipelineResult]
+    correct: bool
+
+
+@dataclass
+class ComparisonResult:
+    """All systems on one workload."""
+
+    workload: Workload
+    runs: Dict[str, SystemRun] = field(default_factory=dict)
+
+    def cycles(self, system: str) -> int:
+        return self.runs[system].sim.cycles
+
+    def slowdown_pct(self, system: str, baseline: str = "opt-lsq") -> float:
+        """Positive = *system* slower than *baseline* (Figure 11/15 axis)."""
+        return self.runs[system].sim.slowdown_pct_vs(self.runs[baseline].sim)
+
+    def energy(self, system: str) -> float:
+        return self.runs[system].sim.total_energy
+
+    @property
+    def all_correct(self) -> bool:
+        return all(r.correct for r in self.runs.values())
+
+
+def _pipeline_for(system: str) -> Optional[PipelineConfig]:
+    if system in ("opt-lsq", "spec-lsq"):
+        return None
+    if system == "baseline-sw":
+        return PipelineConfig.baseline_compiler()
+    return PipelineConfig.full()
+
+
+def _backend_for(system: str, lsq_config: Optional[LSQConfig]):
+    if system == "opt-lsq":
+        return OptLSQBackend(lsq_config)
+    if system == "spec-lsq":
+        return SpecLSQBackend()
+    if system in ("nachos-sw", "baseline-sw"):
+        return NachosSWBackend()
+    if system == "nachos":
+        return NachosBackend()
+    raise ValueError(f"unknown system {system!r}; expected one of {SYSTEMS}")
+
+
+def run_system(
+    workload: Workload,
+    system: str,
+    invocations: int = DEFAULT_INVOCATIONS,
+    check: bool = True,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+    cgra_config: Optional[CGRAConfig] = None,
+    lsq_config: Optional[LSQConfig] = None,
+    engine_config: Optional[EngineConfig] = None,
+    warm: bool = True,
+) -> SystemRun:
+    """Compile (as the system requires), place, and simulate one workload.
+
+    ``warm=True`` pre-touches the run's working set *in the shared L2*
+    so the measurement reflects steady state (the paper's regions execute
+    thousands of iterations and their data is LLC resident); the private
+    L1 still filters accesses dynamically, so streaming strides miss L1
+    and hit the LLC.
+    """
+    graph = workload.graph
+    cfg = _pipeline_for(system)
+    pipeline_result: Optional[PipelineResult] = None
+    if cfg is None:
+        graph.clear_mdes()  # the LSQ disambiguates at runtime
+    else:
+        pipeline_result = AliasPipeline(cfg).run(graph)
+
+    placement = place_region(graph, cgra_config)
+    hierarchy = MemoryHierarchy(hierarchy_config)
+    backend = _backend_for(system, lsq_config)
+    engine = DataflowEngine(
+        graph, placement, hierarchy, backend, config=engine_config
+    )
+    envs = workload.invocations(invocations)
+    if warm:
+        for env in envs:
+            for op in graph.memory_ops:
+                addr = op.addr.evaluate(env)
+                hierarchy.l2.access(addr, is_write=op.is_store)
+        hierarchy.l2.stats.reset()
+    sim = engine.run(envs, region_name=workload.name)
+
+    correct = True
+    if check:
+        golden = golden_execute(graph, envs)
+        correct = golden.matches(sim.load_values, sim.memory_image)
+    return SystemRun(system=system, sim=sim, pipeline=pipeline_result, correct=correct)
+
+
+def compare_systems(
+    workload: Workload,
+    invocations: int = DEFAULT_INVOCATIONS,
+    systems: tuple = SYSTEMS,
+    check: bool = True,
+) -> ComparisonResult:
+    """Run every requested system on *workload*."""
+    result = ComparisonResult(workload=workload)
+    for system in systems:
+        result.runs[system] = run_system(
+            workload, system, invocations=invocations, check=check
+        )
+    return result

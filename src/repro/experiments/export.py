@@ -1,0 +1,24 @@
+"""Export experiment results as JSON for downstream analysis."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+
+def result_to_dict(name: str, result: Any) -> Dict[str, Any]:
+    """Serialize an experiment result (all results are dataclasses)."""
+    if not dataclasses.is_dataclass(result):
+        raise TypeError(f"{name}: expected a dataclass result, got {type(result)}")
+    payload = dataclasses.asdict(result)
+    return {"experiment": name, "result": payload}
+
+
+def result_to_json(name: str, result: Any, indent: int = 2) -> str:
+    return json.dumps(result_to_dict(name, result), indent=indent, default=str)
+
+
+def save_json(name: str, result: Any, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(result_to_json(name, result))

@@ -1,0 +1,60 @@
+"""Figure 10 — %MEM vs %MAY scatter.
+
+Per benchmark (hottest region): the percentage of region operations that
+are memory operations, and the percentage of memory operations carrying
+at least one unresolved MAY relation after the full pipeline.  Workloads
+where NACHOS-SW's fate is decided live in the high-%MEM half: high %MAY
+there means slowdown, low %MAY means the compiler found the parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.tables import ascii_table
+from repro.experiments.regions import compiled_region, workload_for
+from repro.workloads.suite import SUITE
+
+
+@dataclass
+class Fig10Row:
+    name: str
+    pct_mem: float
+    pct_may_ops: float
+
+
+@dataclass
+class Fig10Result:
+    rows: List[Fig10Row]  # sorted by %MAY, as in the paper's x-axis
+
+
+def run() -> Fig10Result:
+    rows: List[Fig10Row] = []
+    for spec in SUITE:
+        workload = workload_for(spec)
+        result = compiled_region(spec)
+        graph = workload.graph
+        n_mem = len(graph.memory_ops)
+        may_ops = set()
+        for edge in result.may_mdes:
+            may_ops.add(edge.src)
+            may_ops.add(edge.dst)
+        rows.append(
+            Fig10Row(
+                name=spec.name,
+                pct_mem=100.0 * n_mem / len(graph) if len(graph) else 0.0,
+                pct_may_ops=100.0 * len(may_ops) / n_mem if n_mem else 0.0,
+            )
+        )
+    rows.sort(key=lambda r: r.pct_may_ops)
+    return Fig10Result(rows=rows)
+
+
+def render(result: Fig10Result) -> str:
+    headers = ["App", "%MEM", "%MAY ops"]
+    rows = [(r.name, f"{r.pct_mem:.1f}", f"{r.pct_may_ops:.1f}") for r in result.rows]
+    return (
+        "Figure 10: %MEM (memory ops) vs %MAY (ops with MAY relations), "
+        "sorted by %MAY\n" + ascii_table(headers, rows)
+    )

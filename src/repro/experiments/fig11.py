@@ -1,0 +1,83 @@
+"""Figure 11 — NACHOS-SW performance vs OPT-LSQ.
+
+Per benchmark (hottest region): percentage slowdown of the software-only
+system normalized to the optimized LSQ.  Positive = slowdown, negative =
+speedup.  The paper's headline: 21 of 27 within ~4%; a MAY-serialized
+group slows 18--100%; 6--7 benchmarks speed up 8--62% thanks to the
+load-to-use cycles the LSQ pipeline adds on cache hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.tables import ascii_table
+from repro.experiments.common import DEFAULT_INVOCATIONS, compare_systems
+from repro.experiments.regions import workload_for
+from repro.workloads.suite import SUITE
+
+
+@dataclass
+class PerfRow:
+    name: str
+    slowdown_pct: float     # vs OPT-LSQ; positive = slower
+    lsq_cycles: int
+    system_cycles: int
+    correct: bool
+
+
+@dataclass
+class PerfResult:
+    system: str
+    rows: List[PerfRow]
+
+    @property
+    def slowdown_group(self) -> List[str]:
+        return [r.name for r in self.rows if r.slowdown_pct > 4.0]
+
+    @property
+    def speedup_group(self) -> List[str]:
+        return [r.name for r in self.rows if r.slowdown_pct < -4.0]
+
+    @property
+    def within_pct(self) -> int:
+        return sum(1 for r in self.rows if abs(r.slowdown_pct) <= 4.0)
+
+    @property
+    def all_correct(self) -> bool:
+        return all(r.correct for r in self.rows)
+
+
+def run(invocations: int = DEFAULT_INVOCATIONS, system: str = "nachos-sw") -> PerfResult:
+    rows: List[PerfRow] = []
+    for spec in SUITE:
+        workload = workload_for(spec)
+        cmp = compare_systems(
+            workload, invocations=invocations, systems=("opt-lsq", system)
+        )
+        rows.append(
+            PerfRow(
+                name=spec.name,
+                slowdown_pct=cmp.slowdown_pct(system),
+                lsq_cycles=cmp.cycles("opt-lsq"),
+                system_cycles=cmp.cycles(system),
+                correct=cmp.all_correct,
+            )
+        )
+    return PerfResult(system=system, rows=rows)
+
+
+def render(result: PerfResult) -> str:
+    headers = ["App", "%slowdown", "OPT-LSQ cyc", f"{result.system} cyc", "ok"]
+    rows = [
+        (r.name, f"{r.slowdown_pct:+.1f}", r.lsq_cycles, r.system_cycles,
+         "y" if r.correct else "N")
+        for r in result.rows
+    ]
+    title = (
+        f"Figure 11: {result.system} vs OPT-LSQ "
+        f"(slowdowns: {', '.join(result.slowdown_group) or 'none'}; "
+        f"speedups: {', '.join(result.speedup_group) or 'none'})"
+    )
+    return title + "\n" + ascii_table(headers, rows)

@@ -1,0 +1,54 @@
+"""Figure 12 — the baseline compiler (stages 1+3 only) vs OPT-LSQ.
+
+Removing the inter-procedural (stage 2) and polyhedral (stage 4) analyses
+leaves many more MAY labels; the software-only system then serializes
+them.  The paper's headline: 10 applications slow down more than 10%
+(lbm worst, ~400%, from a 7.5x longer critical path), and the stage-2
+benchmarks (h264ref, sar-pfa-interp1, histogram) and all five stage-4
+benchmarks degrade specifically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.tables import ascii_table
+from repro.experiments.common import DEFAULT_INVOCATIONS, compare_systems
+from repro.experiments.fig11 import PerfResult, PerfRow
+from repro.experiments.regions import workload_for
+from repro.workloads.suite import SUITE
+
+
+def run(invocations: int = DEFAULT_INVOCATIONS) -> PerfResult:
+    rows: List[PerfRow] = []
+    for spec in SUITE:
+        workload = workload_for(spec)
+        cmp = compare_systems(
+            workload, invocations=invocations, systems=("opt-lsq", "baseline-sw")
+        )
+        rows.append(
+            PerfRow(
+                name=spec.name,
+                slowdown_pct=cmp.slowdown_pct("baseline-sw"),
+                lsq_cycles=cmp.cycles("opt-lsq"),
+                system_cycles=cmp.cycles("baseline-sw"),
+                correct=cmp.all_correct,
+            )
+        )
+    return PerfResult(system="baseline-sw", rows=rows)
+
+
+def render(result: PerfResult) -> str:
+    headers = ["App", "%slowdown", "OPT-LSQ cyc", "baseline cyc", "ok"]
+    rows = [
+        (r.name, f"{r.slowdown_pct:+.1f}", r.lsq_cycles, r.system_cycles,
+         "y" if r.correct else "N")
+        for r in result.rows
+    ]
+    over10 = [r.name for r in result.rows if r.slowdown_pct > 10.0]
+    title = (
+        "Figure 12: baseline compiler (stages 1+3) vs OPT-LSQ; "
+        f"{len(over10)} apps slow >10%: {', '.join(over10) or 'none'}"
+    )
+    return title + "\n" + ascii_table(headers, rows)

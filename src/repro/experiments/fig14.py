@@ -1,0 +1,84 @@
+"""Figure 14 — fan-in of MAY-alias parents per memory operation.
+
+For the hottest region of each benchmark: the distribution of the number
+of older memory operations each memory op MAY-alias with (i.e. incoming
+MAY MDEs).  The paper's headline: 9 workloads have no MAY parents at all,
+11 have mostly <=1, and bzip2 / sar-pfa-interp1 / fft-2d / soplex /
+povray host ops with high fan-in — the source of NACHOS's comparator
+contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.tables import ascii_table
+from repro.experiments.regions import compiled_region
+from repro.workloads.suite import SUITE
+
+BUCKETS = ("0", "1", "2", "3-4", "5+")
+
+
+def _bucket(fan: int) -> str:
+    if fan <= 2:
+        return str(fan)
+    if fan <= 4:
+        return "3-4"
+    return "5+"
+
+
+@dataclass
+class Fig14Row:
+    name: str
+    pct_by_bucket: Dict[str, float]
+    max_fan_in: int
+
+
+@dataclass
+class Fig14Result:
+    rows: List[Fig14Row]
+
+    @property
+    def no_may_workloads(self) -> List[str]:
+        return [r.name for r in self.rows if r.pct_by_bucket["0"] == 100.0]
+
+    @property
+    def high_fan_in_workloads(self) -> List[str]:
+        return [r.name for r in self.rows if r.max_fan_in >= 5]
+
+
+def run() -> Fig14Result:
+    rows: List[Fig14Row] = []
+    for spec in SUITE:
+        result = compiled_region(spec)
+        fan = result.may_fan_in()
+        n = len(fan)
+        counts = {b: 0 for b in BUCKETS}
+        for value in fan.values():
+            counts[_bucket(value)] += 1
+        pct = {b: (100.0 * c / n if n else 0.0) for b, c in counts.items()}
+        if n == 0:
+            pct["0"] = 100.0
+        rows.append(
+            Fig14Row(
+                name=spec.name,
+                pct_by_bucket=pct,
+                max_fan_in=max(fan.values(), default=0),
+            )
+        )
+    return Fig14Result(rows=rows)
+
+
+def render(result: Fig14Result) -> str:
+    headers = ["App"] + [f"%{b}" for b in BUCKETS] + ["max"]
+    rows = [
+        tuple([r.name] + [f"{r.pct_by_bucket[b]:.0f}" for b in BUCKETS] + [r.max_fan_in])
+        for r in result.rows
+    ]
+    title = (
+        "Figure 14: older MAY-alias parents per memory op "
+        f"({len(result.no_may_workloads)} workloads with none; high fan-in: "
+        f"{', '.join(result.high_fan_in_workloads) or 'none'})"
+    )
+    return title + "\n" + ascii_table(headers, rows)

@@ -1,0 +1,82 @@
+"""Figure 15 — NACHOS vs OPT-LSQ (with the NACHOS-SW marker).
+
+Per benchmark (hottest region): NACHOS's slowdown/speedup against the
+optimized LSQ, alongside NACHOS-SW's (the marker in the paper's plot).
+The paper's headline: 19 benchmarks within 2.5% of OPT-LSQ; 6 speed up
+6--70%; bzip2 and sar-pfa-interp1 slow ~8% from comparator fan-in
+contention; NACHOS recovers what MAY serialization cost NACHOS-SW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.tables import ascii_table
+from repro.experiments.common import DEFAULT_INVOCATIONS, compare_systems
+from repro.experiments.regions import workload_for
+from repro.workloads.suite import SUITE
+
+
+@dataclass
+class Fig15Row:
+    name: str
+    nachos_pct: float       # vs OPT-LSQ; positive = slower
+    nachos_sw_pct: float
+    lsq_cycles: int
+    comparator_checks: int
+    runtime_forwards: int
+    correct: bool
+
+
+@dataclass
+class Fig15Result:
+    rows: List[Fig15Row]
+
+    @property
+    def within_2_5(self) -> int:
+        return sum(1 for r in self.rows if abs(r.nachos_pct) <= 2.5)
+
+    @property
+    def improved_over_sw(self) -> List[str]:
+        return [
+            r.name for r in self.rows if r.nachos_sw_pct - r.nachos_pct > 2.0
+        ]
+
+    @property
+    def all_correct(self) -> bool:
+        return all(r.correct for r in self.rows)
+
+
+def run(invocations: int = DEFAULT_INVOCATIONS) -> Fig15Result:
+    rows: List[Fig15Row] = []
+    for spec in SUITE:
+        workload = workload_for(spec)
+        cmp = compare_systems(workload, invocations=invocations)
+        stats = cmp.runs["nachos"].sim.backend_stats
+        rows.append(
+            Fig15Row(
+                name=spec.name,
+                nachos_pct=cmp.slowdown_pct("nachos"),
+                nachos_sw_pct=cmp.slowdown_pct("nachos-sw"),
+                lsq_cycles=cmp.cycles("opt-lsq"),
+                comparator_checks=stats.comparator_checks,
+                runtime_forwards=stats.runtime_forwards,
+                correct=cmp.all_correct,
+            )
+        )
+    return Fig15Result(rows=rows)
+
+
+def render(result: Fig15Result) -> str:
+    headers = ["App", "NACHOS %", "NACHOS-SW %", "==? checks", "rt-fwd", "ok"]
+    rows = [
+        (r.name, f"{r.nachos_pct:+.1f}", f"{r.nachos_sw_pct:+.1f}",
+         r.comparator_checks, r.runtime_forwards, "y" if r.correct else "N")
+        for r in result.rows
+    ]
+    title = (
+        f"Figure 15: NACHOS vs OPT-LSQ ({result.within_2_5}/27 within 2.5%; "
+        f"NACHOS > NACHOS-SW in: {', '.join(result.improved_over_sw) or 'none'})"
+    )
+    return title + "\n" + ascii_table(headers, rows)

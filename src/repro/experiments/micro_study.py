@@ -1,0 +1,99 @@
+"""Idiom x system matrix: the microbenchmarks under every backend.
+
+Runs the eight memory idioms of :mod:`repro.workloads.micro` through all
+five disambiguation backends.  The matrix reads like a design guide:
+which idiom needs which machinery — and which machinery pays for itself
+where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.tables import ascii_table
+from repro.experiments.common import run_system
+from repro.sim.backends.serial import SerialMemBackend
+from repro.workloads.micro import build_micro, micro_names
+
+SYSTEMS = ("serial-mem", "opt-lsq", "spec-lsq", "nachos-sw", "nachos")
+
+
+@dataclass
+class MicroRow:
+    name: str
+    cycles: Dict[str, int]
+    may_mdes: int
+    correct: bool
+
+    def best_system(self) -> str:
+        return min(self.cycles, key=lambda s: self.cycles[s])
+
+
+@dataclass
+class MicroStudyResult:
+    rows: List[MicroRow]
+
+    @property
+    def all_correct(self) -> bool:
+        return all(r.correct for r in self.rows)
+
+
+def _run_serial(workload, invocations: int):
+    # serial-mem is not in experiments.common's registry (it is not one
+    # of the paper's systems); drive it directly.
+    from repro.cgra.placement import place_region
+    from repro.memory import MemoryHierarchy
+    from repro.sim import DataflowEngine, golden_execute
+
+    graph = workload.graph
+    graph.clear_mdes()
+    hierarchy = MemoryHierarchy()
+    envs = workload.invocations(invocations)
+    for env in envs:
+        for op in graph.memory_ops:
+            hierarchy.l2.access(op.addr.evaluate(env), op.is_store)
+    engine = DataflowEngine(
+        graph, place_region(graph), hierarchy, SerialMemBackend()
+    )
+    sim = engine.run(envs)
+    ok = golden_execute(graph, envs).matches(sim.load_values, sim.memory_image)
+    return sim, ok
+
+
+def run(invocations: int = 16) -> MicroStudyResult:
+    rows: List[MicroRow] = []
+    for name in micro_names():
+        cycles: Dict[str, int] = {}
+        correct = True
+        may_mdes = 0
+        for system in SYSTEMS:
+            workload = build_micro(name)
+            if system == "serial-mem":
+                sim, ok = _run_serial(workload, invocations)
+            else:
+                result = run_system(workload, system, invocations=invocations)
+                sim, ok = result.sim, result.correct
+                if system == "nachos" and result.pipeline is not None:
+                    may_mdes = len(result.pipeline.may_mdes)
+            cycles[system] = sim.cycles
+            correct = correct and ok
+        rows.append(
+            MicroRow(name=name, cycles=cycles, may_mdes=may_mdes, correct=correct)
+        )
+    return MicroStudyResult(rows=rows)
+
+
+def render(result: MicroStudyResult) -> str:
+    headers = ["idiom"] + list(SYSTEMS) + ["MAY MDEs", "best", "ok"]
+    rows = [
+        tuple(
+            [r.name]
+            + [r.cycles[s] for s in SYSTEMS]
+            + [r.may_mdes, r.best_system(), "y" if r.correct else "N"]
+        )
+        for r in result.rows
+    ]
+    return "Microbenchmark idiom x system matrix (cycles)\n" + ascii_table(
+        headers, rows
+    )

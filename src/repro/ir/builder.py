@@ -1,0 +1,159 @@
+"""A small fluent builder for constructing region dataflow graphs.
+
+Workload generators, tests, and examples all build regions; doing so by
+hand-allocating op ids is error prone.  :class:`RegionBuilder` allocates
+ids in program order and returns :class:`~repro.ir.ops.Operation` handles
+that can be wired together.
+
+Example
+-------
+>>> from repro.ir import RegionBuilder, MemObject, AffineExpr, IVar
+>>> b = RegionBuilder("demo")
+>>> a = MemObject("a", 1024)
+>>> i = IVar("i", 128)
+>>> idx = b.input("i")
+>>> addr = b.gep(idx)
+>>> ld = b.load(a, AffineExpr.of(ivs={i: 8}), inputs=[addr])
+>>> acc = b.add(ld, b.const(1))
+>>> st = b.store(a, AffineExpr.of(const=8, ivs={i: 8}), value=acc, inputs=[addr])
+>>> graph = b.build()
+>>> len(graph)
+6
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.ir.address import AddressExpr, AffineExpr, MemObject, PointerBase
+from repro.ir.graph import DFGraph
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Operation
+
+OpRef = Union[int, Operation]
+
+
+def _op_id(ref: OpRef) -> int:
+    return ref.op_id if isinstance(ref, Operation) else ref
+
+
+class RegionBuilder:
+    """Builds a :class:`DFGraph` with automatically assigned op ids."""
+
+    def __init__(self, name: str = "region") -> None:
+        self._graph = DFGraph(name)
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        opcode: Opcode,
+        inputs: Sequence[OpRef] = (),
+        addr: Optional[AddressExpr] = None,
+        name: str = "",
+    ) -> Operation:
+        op = Operation(
+            op_id=self._next_id,
+            opcode=opcode,
+            inputs=tuple(_op_id(r) for r in inputs),
+            addr=addr,
+            name=name,
+        )
+        self._graph.add_op(op)
+        self._next_id += 1
+        return op
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def input(self, name: str = "") -> Operation:
+        """A live-in value arriving from the host CPU or scratchpad."""
+        return self._emit(Opcode.INPUT, name=name)
+
+    def const(self, value: int = 0, name: str = "") -> Operation:
+        return self._emit(Opcode.CONST, name=name or f"c{value}")
+
+    # ------------------------------------------------------------------
+    # Compute
+    # ------------------------------------------------------------------
+    def add(self, a: OpRef, b: OpRef, name: str = "") -> Operation:
+        return self._emit(Opcode.ADD, [a, b], name=name)
+
+    def sub(self, a: OpRef, b: OpRef, name: str = "") -> Operation:
+        return self._emit(Opcode.SUB, [a, b], name=name)
+
+    def mul(self, a: OpRef, b: OpRef, name: str = "") -> Operation:
+        return self._emit(Opcode.MUL, [a, b], name=name)
+
+    def shift(self, a: OpRef, b: OpRef, name: str = "") -> Operation:
+        return self._emit(Opcode.SHIFT, [a, b], name=name)
+
+    def cmp(self, a: OpRef, b: OpRef, name: str = "") -> Operation:
+        return self._emit(Opcode.CMP, [a, b], name=name)
+
+    def select(self, p: OpRef, a: OpRef, b: OpRef, name: str = "") -> Operation:
+        return self._emit(Opcode.SELECT, [p, a, b], name=name)
+
+    def fadd(self, a: OpRef, b: OpRef, name: str = "") -> Operation:
+        return self._emit(Opcode.FADD, [a, b], name=name)
+
+    def fsub(self, a: OpRef, b: OpRef, name: str = "") -> Operation:
+        return self._emit(Opcode.FSUB, [a, b], name=name)
+
+    def fmul(self, a: OpRef, b: OpRef, name: str = "") -> Operation:
+        return self._emit(Opcode.FMUL, [a, b], name=name)
+
+    def fdiv(self, a: OpRef, b: OpRef, name: str = "") -> Operation:
+        return self._emit(Opcode.FDIV, [a, b], name=name)
+
+    def gep(self, *inputs: OpRef, name: str = "") -> Operation:
+        """Address computation feeding a memory op."""
+        return self._emit(Opcode.GEP, list(inputs), name=name)
+
+    def unop(self, opcode: Opcode, a: OpRef, name: str = "") -> Operation:
+        return self._emit(opcode, [a], name=name)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        base: PointerBase,
+        offset: AffineExpr,
+        width: int = 8,
+        inputs: Sequence[OpRef] = (),
+        type_tag: Optional[str] = None,
+        name: str = "",
+    ) -> Operation:
+        addr = AddressExpr(base=base, offset=offset, width=width, type_tag=type_tag)
+        return self._emit(Opcode.LOAD, inputs, addr=addr, name=name)
+
+    def store(
+        self,
+        base: PointerBase,
+        offset: AffineExpr,
+        value: OpRef,
+        width: int = 8,
+        inputs: Sequence[OpRef] = (),
+        type_tag: Optional[str] = None,
+        name: str = "",
+    ) -> Operation:
+        addr = AddressExpr(base=base, offset=offset, width=width, type_tag=type_tag)
+        all_inputs = list(inputs) + [value]
+        return self._emit(Opcode.STORE, all_inputs, addr=addr, name=name)
+
+    def load_addr(
+        self, addr: AddressExpr, inputs: Sequence[OpRef] = (), name: str = ""
+    ) -> Operation:
+        return self._emit(Opcode.LOAD, inputs, addr=addr, name=name)
+
+    def store_addr(
+        self, addr: AddressExpr, value: OpRef, inputs: Sequence[OpRef] = (), name: str = ""
+    ) -> Operation:
+        return self._emit(Opcode.STORE, list(inputs) + [value], addr=addr, name=name)
+
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> DFGraph:
+        if validate:
+            self._graph.validate()
+        return self._graph

@@ -1,0 +1,73 @@
+"""Structural linting for region graphs.
+
+``lint_region`` flags suspicious-but-legal structure that usually means
+a workload generator or hand-built region isn't what its author
+intended: dead loads, value-less stores racing nothing, scratchpad-space
+objects that were never promoted, unreachable compute, and oversized
+access widths.  Lints are warnings — `DFGraph.validate()` handles hard
+errors.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.graph import DFGraph
+from repro.ir.opcodes import Opcode
+
+
+def lint_region(graph: DFGraph) -> List[str]:
+    """Return human-readable warnings about *graph* (empty = clean)."""
+    warnings: List[str] = []
+    users = {op.op_id: graph.users_of(op.op_id) for op in graph.ops}
+
+    for op in graph.ops:
+        # Dead loads: a load whose value nobody consumes is either dead
+        # code or a missing data edge.
+        if op.is_load and not users[op.op_id]:
+            warnings.append(
+                f"op {op.op_id}: load result is never consumed (dead load?)"
+            )
+        # Accesses wider than the addressed object.
+        if op.is_memory:
+            base = op.addr.runtime_base
+            if op.addr.width > base.size:
+                warnings.append(
+                    f"op {op.op_id}: access width {op.addr.width} exceeds "
+                    f"object '{base.name}' size {base.size}"
+                )
+            if base.is_local:
+                warnings.append(
+                    f"op {op.op_id}: accesses local object '{base.name}' — "
+                    "run scratchpad promotion before disambiguation"
+                )
+            # Static out-of-bounds check over the iteration domain.
+            offset = op.addr.offset
+            if not offset.has_syms:
+                lo, hi = offset.bounds()
+                if lo < 0 or hi + op.addr.width > base.size:
+                    warnings.append(
+                        f"op {op.op_id}: offset range [{lo}, {hi}] may fall "
+                        f"outside object '{base.name}' (size {base.size})"
+                    )
+        # Dangling compute: produces a value nobody reads (stores and
+        # region outputs excepted — the last op is the region result).
+        if (
+            not op.is_memory
+            and op.opcode not in (Opcode.INPUT, Opcode.CONST, Opcode.SPAD_STORE)
+            and not users[op.op_id]
+            and op.op_id != graph.ops[-1].op_id
+        ):
+            warnings.append(
+                f"op {op.op_id}: {op.opcode.value} result is never consumed"
+            )
+
+    inputs_unused = [
+        op.op_id
+        for op in graph.ops
+        if op.opcode is Opcode.INPUT and not users[op.op_id]
+    ]
+    for op_id in inputs_unused:
+        warnings.append(f"op {op_id}: live-in value is never used")
+
+    return warnings

@@ -1,0 +1,194 @@
+"""JSON (de)serialization of region graphs.
+
+Lets a compiled region — ops, symbolic addresses, and MDEs — be saved
+and reloaded with full fidelity: base-object identity, pointer
+provenance, induction-variable domains, and opaque symbols all survive
+the round trip, so the alias pipeline produces identical labels on the
+reloaded graph.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.ir.address import (
+    AddressExpr,
+    AffineExpr,
+    IVar,
+    MemObject,
+    MemorySpace,
+    PointerParam,
+    Sym,
+)
+from repro.ir.graph import DFGraph, MDEKind, MemoryDependencyEdge
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Operation
+
+
+class _Interner:
+    """Assigns stable indices to shared symbolic entities."""
+
+    def __init__(self) -> None:
+        self.objects: Dict[int, MemObject] = {}
+        self.params: Dict[int, PointerParam] = {}
+        self.ivars: Dict[str, IVar] = {}
+        self.syms: Dict[str, Sym] = {}
+
+    def intern_object(self, obj: MemObject) -> int:
+        self.objects[obj.uid] = obj
+        return obj.uid
+
+    def intern_param(self, param: PointerParam) -> int:
+        self.params[param.uid] = param
+        self.intern_object(param.runtime_object)
+        if param.provenance is not None:
+            self.intern_object(param.provenance)
+        return param.uid
+
+
+def _affine_to_dict(expr: AffineExpr, interner: _Interner) -> Dict[str, Any]:
+    for iv, _ in expr.iv_terms:
+        interner.ivars[iv.name] = iv
+    for s, _ in expr.sym_terms:
+        interner.syms[s.name] = s
+    return {
+        "const": expr.const,
+        "ivs": [[iv.name, c] for iv, c in expr.iv_terms],
+        "syms": [[s.name, c] for s, c in expr.sym_terms],
+    }
+
+
+def _addr_to_dict(addr: AddressExpr, interner: _Interner) -> Dict[str, Any]:
+    if isinstance(addr.base, PointerParam):
+        base = {"kind": "param", "uid": interner.intern_param(addr.base)}
+    else:
+        base = {"kind": "object", "uid": interner.intern_object(addr.base)}
+    return {
+        "base": base,
+        "offset": _affine_to_dict(addr.offset, interner),
+        "width": addr.width,
+        "type_tag": addr.type_tag,
+    }
+
+
+def graph_to_dict(graph: DFGraph) -> Dict[str, Any]:
+    """Serialize *graph* (ops, addresses, MDEs, symbol tables)."""
+    interner = _Interner()
+    ops: List[Dict[str, Any]] = []
+    for op in graph.ops:
+        entry: Dict[str, Any] = {
+            "id": op.op_id,
+            "opcode": op.opcode.value,
+            "inputs": list(op.inputs),
+            "name": op.name,
+        }
+        if op.addr is not None:
+            entry["addr"] = _addr_to_dict(op.addr, interner)
+        ops.append(entry)
+
+    return {
+        "name": graph.name,
+        "ops": ops,
+        "mdes": [
+            {"src": e.src, "dst": e.dst, "kind": e.kind.value} for e in graph.mdes
+        ],
+        "objects": [
+            {
+                "uid": uid,
+                "name": o.name,
+                "size": o.size,
+                "space": o.space.value,
+                "element_size": o.element_size,
+                "base_addr": o.base_addr,
+            }
+            for uid, o in sorted(interner.objects.items())
+        ],
+        "params": [
+            {
+                "uid": uid,
+                "name": p.name,
+                "runtime_object": p.runtime_object.uid,
+                "provenance": p.provenance.uid if p.provenance else None,
+            }
+            for uid, p in sorted(interner.params.items())
+        ],
+        "ivars": [
+            {"name": iv.name, "trip_count": iv.trip_count}
+            for iv in sorted(interner.ivars.values(), key=lambda v: v.name)
+        ],
+    }
+
+
+def graph_from_dict(payload: Dict[str, Any]) -> DFGraph:
+    """Rebuild a region graph serialized by :func:`graph_to_dict`."""
+    objects: Dict[int, MemObject] = {}
+    for entry in payload.get("objects", []):
+        objects[entry["uid"]] = MemObject(
+            name=entry["name"],
+            size=entry["size"],
+            space=MemorySpace(entry["space"]),
+            element_size=entry["element_size"],
+            base_addr=entry["base_addr"],
+        )
+    params: Dict[int, PointerParam] = {}
+    for entry in payload.get("params", []):
+        prov = entry["provenance"]
+        params[entry["uid"]] = PointerParam(
+            name=entry["name"],
+            runtime_object=objects[entry["runtime_object"]],
+            provenance=objects[prov] if prov is not None else None,
+        )
+    ivars = {
+        e["name"]: IVar(e["name"], e["trip_count"])
+        for e in payload.get("ivars", [])
+    }
+    syms: Dict[str, Sym] = {}
+
+    def affine(entry: Dict[str, Any]) -> AffineExpr:
+        ivs = {ivars[name]: coeff for name, coeff in entry["ivs"]}
+        sym_terms = {}
+        for name, coeff in entry["syms"]:
+            sym_terms[syms.setdefault(name, Sym(name))] = coeff
+        return AffineExpr.of(const=entry["const"], ivs=ivs, syms=sym_terms)
+
+    def address(entry: Dict[str, Any]) -> AddressExpr:
+        base_entry = entry["base"]
+        if base_entry["kind"] == "param":
+            base = params[base_entry["uid"]]
+        else:
+            base = objects[base_entry["uid"]]
+        return AddressExpr(
+            base=base,
+            offset=affine(entry["offset"]),
+            width=entry["width"],
+            type_tag=entry["type_tag"],
+        )
+
+    graph = DFGraph(payload["name"])
+    for entry in payload["ops"]:
+        graph.add_op(
+            Operation(
+                op_id=entry["id"],
+                opcode=Opcode(entry["opcode"]),
+                inputs=tuple(entry["inputs"]),
+                addr=address(entry["addr"]) if "addr" in entry else None,
+                name=entry.get("name", ""),
+            )
+        )
+    for entry in payload.get("mdes", []):
+        graph.add_mde(
+            MemoryDependencyEdge(entry["src"], entry["dst"], MDEKind(entry["kind"]))
+        )
+    graph.validate()
+    return graph
+
+
+def dump_graph(graph: DFGraph, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(graph_to_dict(graph), fh, indent=1)
+
+
+def load_graph(path: str) -> DFGraph:
+    with open(path) as fh:
+        return graph_from_dict(json.load(fh))

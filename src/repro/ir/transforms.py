@@ -1,0 +1,91 @@
+"""Region graph transforms.
+
+Compiler-side cleanups that operate purely on the IR:
+
+* :func:`eliminate_dead_code` — drop operations whose results can never
+  matter: compute whose value reaches no store/output, and loads nobody
+  consumes.  Stores, region outputs (the last op), and anything feeding
+  them transitively are live.  Ids are re-numbered densely (program
+  order preserved), and MDEs between surviving memory ops are kept.
+* :func:`strip_names` — drop debug names (smaller serialized graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.ir.graph import DFGraph, MemoryDependencyEdge
+from repro.ir.ops import Operation
+
+
+@dataclass
+class DCEResult:
+    graph: DFGraph
+    removed: int
+    id_map: Dict[int, int]  # old id -> new id (live ops only)
+
+
+def _live_set(graph: DFGraph) -> Set[int]:
+    """Ops whose effects are observable: stores, the region result, and
+    everything they transitively consume."""
+    live: Set[int] = set()
+    roots: List[int] = [op.op_id for op in graph.ops if op.is_store]
+    if graph.ops:
+        roots.append(graph.ops[-1].op_id)  # the region's result value
+    stack = list(roots)
+    while stack:
+        oid = stack.pop()
+        if oid in live:
+            continue
+        live.add(oid)
+        stack.extend(graph.op(oid).inputs)
+    return live
+
+
+def eliminate_dead_code(graph: DFGraph) -> DCEResult:
+    """Return a compacted copy of *graph* without dead operations."""
+    live = _live_set(graph)
+    id_map: Dict[int, int] = {}
+    out = DFGraph(graph.name)
+    for op in graph.ops:
+        if op.op_id not in live:
+            continue
+        new_id = len(id_map)
+        id_map[op.op_id] = new_id
+        out.add_op(
+            Operation(
+                op_id=new_id,
+                opcode=op.opcode,
+                inputs=tuple(id_map[i] for i in op.inputs),
+                addr=op.addr,
+                name=op.name,
+            )
+        )
+    for edge in graph.mdes:
+        if edge.src in id_map and edge.dst in id_map:
+            out.add_mde(
+                MemoryDependencyEdge(
+                    id_map[edge.src], id_map[edge.dst], edge.kind
+                )
+            )
+    out.validate()
+    return DCEResult(graph=out, removed=len(graph) - len(out), id_map=id_map)
+
+
+def strip_names(graph: DFGraph) -> DFGraph:
+    """A copy of *graph* with all debug names removed."""
+    out = DFGraph(graph.name)
+    for op in graph.ops:
+        out.add_op(
+            Operation(
+                op_id=op.op_id,
+                opcode=op.opcode,
+                inputs=op.inputs,
+                addr=op.addr,
+                name="",
+            )
+        )
+    for edge in graph.mdes:
+        out.add_mde(edge)
+    return out

@@ -1,0 +1,20 @@
+"""Cache-hierarchy substrate (paper Figure 3 parameters).
+
+The accelerator owns a private L1 and shares an inclusive L2/LLC with the
+host CPU; main memory sits behind that.  The model is functional +
+latency-accurate: each access updates cache state and returns its latency,
+with MSHR-style merging of concurrent misses to the same line.
+"""
+
+from repro.memory.config import CacheConfig, HierarchyConfig
+from repro.memory.cache import CacheStats, SetAssociativeCache
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = [
+    "AccessResult",
+    "CacheConfig",
+    "CacheStats",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "SetAssociativeCache",
+]

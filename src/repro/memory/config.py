@@ -1,0 +1,50 @@
+"""Cache and hierarchy configuration (defaults from paper Figure 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and access latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    latency: int = 3
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError(
+                f"{self.name}: size must be a multiple of ways*line_bytes"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Two-level hierarchy + DRAM, as in the paper's framework.
+
+    * L1: 64 KB, 4-way, 3 cycles (private to the accelerator)
+    * LLC: 4 MB, 16-way, 25 cycles (shared with the host)
+    * Memory: 200 cycles
+    """
+
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1", 64 * 1024, 4, latency=3)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("LLC", 4 * 1024 * 1024, 16, latency=25)
+    )
+    memory_latency: int = 200
+    mshr_entries: int = 16
+    cache_ports: int = 2
+
+    @classmethod
+    def paper_default(cls) -> "HierarchyConfig":
+        return cls()

@@ -1,0 +1,22 @@
+"""The host side of the offload system (paper Figure 3, left half).
+
+The accelerator framework is a *hybrid*: NEEDLE-extracted paths run on
+the CGRA, everything else stays on the 4-way OOO host, and memory fences
+order the two.  This package models that system view:
+
+* :class:`~repro.offload.host.HostCoreModel` — a first-order cost model
+  of the paper's host (2 GHz, 4-way OOO, 96-entry ROB, 32-entry LSQ)
+  executing a region's work in software,
+* :func:`~repro.offload.planner.plan_offload` — the offload decision per
+  path (accelerator + fence cost vs host cost) and the Amdahl-style
+  end-to-end program speedup.
+"""
+
+from repro.offload.host import HostCoreModel
+from repro.offload.planner import (
+    OffloadPlan,
+    PathDecision,
+    plan_offload,
+)
+
+__all__ = ["HostCoreModel", "OffloadPlan", "PathDecision", "plan_offload"]

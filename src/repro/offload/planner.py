@@ -1,0 +1,126 @@
+"""Offload planning: which paths go to the CGRA, and what it buys.
+
+For each extracted hot path, compare the measured accelerator cost
+(cycles and energy per invocation under a chosen disambiguation system,
+plus the memory-fence overhead that orders the offload against the
+host) with the host model's estimate.  Accelerators are adopted for
+efficiency, so the decision metric is **energy-delay product**: a path
+offloads when the accelerator's EDP beats the host's.  The end-to-end
+program effect follows Amdahl over the profile weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.offload.host import HostCoreModel
+
+
+@dataclass
+class PathDecision:
+    """The offload verdict for one path."""
+
+    path: str
+    weight: float                # fraction of program time on this path
+    host_cycles: float           # per invocation, on the OOO
+    accel_cycles: float          # per invocation, on the CGRA (+ fences)
+    host_energy: float           # fJ per invocation
+    accel_energy: float
+    offload: bool
+
+    @property
+    def speedup(self) -> float:
+        """>1 means the accelerator is also faster."""
+        if self.accel_cycles <= 0:
+            return float("inf")
+        return self.host_cycles / self.accel_cycles
+
+    @property
+    def energy_ratio(self) -> float:
+        """accel / host energy; <1 means the accelerator is cheaper."""
+        if self.host_energy <= 0:
+            return float("inf")
+        return self.accel_energy / self.host_energy
+
+    @property
+    def edp_gain(self) -> float:
+        """host EDP / accel EDP; >1 favors offloading."""
+        accel_edp = self.accel_cycles * self.accel_energy
+        if accel_edp <= 0:
+            return float("inf")
+        return (self.host_cycles * self.host_energy) / accel_edp
+
+
+@dataclass
+class OffloadPlan:
+    """All decisions plus the end-to-end program effect."""
+
+    decisions: List[PathDecision] = field(default_factory=list)
+
+    @property
+    def offloaded(self) -> List[PathDecision]:
+        return [d for d in self.decisions if d.offload]
+
+    @property
+    def covered_weight(self) -> float:
+        return sum(d.weight for d in self.offloaded)
+
+    def program_speedup(self) -> float:
+        """Amdahl over path weights; unoffloaded time is unchanged."""
+        new_time = 0.0
+        for d in self.decisions:
+            if d.offload:
+                new_time += d.weight / d.speedup
+            else:
+                new_time += d.weight
+        residue = max(0.0, 1.0 - sum(d.weight for d in self.decisions))
+        new_time += residue
+        if new_time <= 0:
+            return float("inf")
+        return 1.0 / new_time
+
+    def program_energy_ratio(self) -> float:
+        """Program energy after offloading / before (lower is better).
+
+        Weighted by time share; the residue's energy is unchanged.
+        """
+        total = 0.0
+        for d in self.decisions:
+            total += d.weight * (d.energy_ratio if d.offload else 1.0)
+        residue = max(0.0, 1.0 - sum(d.weight for d in self.decisions))
+        return total + residue
+
+
+def plan_offload(
+    paths: Sequence,
+    accel_cycles: Dict[str, float],
+    accel_energy: Dict[str, float],
+    host: Optional[HostCoreModel] = None,
+    fence_cycles: float = 30.0,
+    miss_rate: Optional[float] = None,
+) -> OffloadPlan:
+    """Decide offload per path on energy-delay product.
+
+    ``paths`` are objects with ``name``, ``weight``, and ``graph``
+    attributes (e.g. :class:`repro.programs.extract.AccelRegion` or
+    :class:`repro.workloads.generator.Workload`); ``accel_cycles`` /
+    ``accel_energy`` map each path's name to its measured per-invocation
+    cost on the accelerator.
+    """
+    host = host or HostCoreModel.paper_default()
+    plan = OffloadPlan()
+    for path in paths:
+        name = path.name
+        decision = PathDecision(
+            path=name,
+            weight=path.weight,
+            host_cycles=host.invocation_cycles(path.graph, miss_rate=miss_rate),
+            accel_cycles=accel_cycles[name] + fence_cycles,
+            host_energy=host.invocation_energy(path.graph),
+            accel_energy=accel_energy[name],
+            offload=False,
+        )
+        decision.offload = decision.edp_gain > 1.0
+        plan.decisions.append(decision)
+    return plan

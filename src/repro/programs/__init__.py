@@ -1,0 +1,38 @@
+"""Mini program model and the NEEDLE-like extraction front-end.
+
+The paper's toolchain (Figure 3, step 1) uses NEEDLE to auto-partition an
+application: it profiles the program, forms branch-free superblock paths
+from the hottest traces, and offloads them to the CGRA.  This package is
+the analogue for our synthetic programs:
+
+* :class:`~repro.programs.model.Program` / ``Function`` / ``HotPath``
+  describe an application as functions containing weighted candidate
+  paths plus the caller-side context (argument provenance, other memory
+  accesses in the parent function),
+* :func:`~repro.programs.extract.extract_regions` picks the hottest paths
+  (top-5 per benchmark => the 135 regions of the study),
+* :func:`~repro.programs.promote.promote_scratchpad` implements the
+  local-data promotion of Section IV Observation 1: accesses to stack /
+  scratchpad-allocated objects leave the coherent memory space and need
+  no disambiguation,
+* :func:`~repro.programs.scope.widen_scope_study` reproduces the
+  Section IV-A experiment (what happens to MAY labels when the analysis
+  scope grows from the offload path to the whole parent function).
+"""
+
+from repro.programs.model import Function, HotPath, Program
+from repro.programs.extract import AccelRegion, extract_regions
+from repro.programs.promote import PromotionResult, promote_scratchpad
+from repro.programs.scope import ScopeStudyResult, widen_scope_study
+
+__all__ = [
+    "AccelRegion",
+    "Function",
+    "HotPath",
+    "Program",
+    "PromotionResult",
+    "ScopeStudyResult",
+    "extract_regions",
+    "promote_scratchpad",
+    "widen_scope_study",
+]

@@ -1,0 +1,60 @@
+"""NEEDLE-style hot-path extraction (paper Figure 3, step 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.ir.graph import DFGraph
+from repro.programs.model import Function, HotPath, Program
+from repro.programs.promote import promote_scratchpad
+
+
+@dataclass
+class AccelRegion:
+    """One offloadable acceleration region."""
+
+    program: str
+    function: str
+    path: str
+    weight: float
+    graph: DFGraph
+    n_promoted: int  # memory ops promoted to the scratchpad
+
+    @property
+    def name(self) -> str:
+        return f"{self.program}/{self.function}/{self.path}"
+
+
+def extract_regions(
+    program: Program,
+    top_k: int = 5,
+    promote_locals: bool = True,
+) -> List[AccelRegion]:
+    """Extract the *top_k* hottest paths of every function as regions.
+
+    Each region graph is freshly materialized, validated, and — mirroring
+    the paper's compiler — has its local (stack) accesses promoted to the
+    scratchpad so only non-local data reaches the disambiguation stages.
+    """
+    regions: List[AccelRegion] = []
+    for fn in program.functions:
+        for path in fn.hottest(top_k):
+            graph = path.materialize()
+            promoted = 0
+            if promote_locals:
+                result = promote_scratchpad(graph)
+                graph = result.graph
+                promoted = result.n_promoted
+            regions.append(
+                AccelRegion(
+                    program=program.name,
+                    function=fn.name,
+                    path=path.name,
+                    weight=path.weight,
+                    graph=graph,
+                    n_promoted=promoted,
+                )
+            )
+    regions.sort(key=lambda r: r.weight, reverse=True)
+    return regions

@@ -1,0 +1,67 @@
+"""Application model: functions, hot paths, and caller context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.ir.address import AddressExpr
+from repro.ir.graph import DFGraph
+
+#: A path is produced lazily so extraction can re-materialize fresh
+#: graphs (op ids / MDE state are per-instance).
+GraphFactory = Callable[[], DFGraph]
+
+
+@dataclass
+class HotPath:
+    """One branch-free candidate trace through a function.
+
+    ``weight`` is the fraction of dynamic instructions the profile
+    attributes to this path; NEEDLE offloads the hottest ones.
+    """
+
+    name: str
+    weight: float
+    build: GraphFactory
+
+    def materialize(self) -> DFGraph:
+        graph = self.build()
+        graph.validate()
+        return graph
+
+
+@dataclass
+class Function:
+    """A function: candidate paths plus its caller-visible memory context.
+
+    ``parent_accesses`` are the memory accesses the function performs
+    *outside* any extracted path — the operations that enter the alias
+    universe when the analysis scope is widened to the whole function
+    (Section IV-A).
+    """
+
+    name: str
+    paths: List[HotPath] = field(default_factory=list)
+    parent_accesses: List[AddressExpr] = field(default_factory=list)
+
+    def hottest(self, k: int = 5) -> List[HotPath]:
+        return sorted(self.paths, key=lambda p: p.weight, reverse=True)[:k]
+
+
+@dataclass
+class Program:
+    """A whole application (one per benchmark)."""
+
+    name: str
+    functions: List[Function] = field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function {name!r} in program {self.name!r}")
+
+    @property
+    def all_paths(self) -> List[HotPath]:
+        return [p for fn in self.functions for p in fn.paths]

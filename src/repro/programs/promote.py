@@ -1,0 +1,67 @@
+"""Scratchpad promotion of local data (paper Section IV, Observation 1).
+
+The compiler can perfectly disambiguate accesses to objects it allocated
+itself (stack variables, region-private globals) and promotes them to a
+local scratchpad: they leave the coherent memory space, need no LSQ/MDE
+treatment, and complete in one cycle.  Table II column C5 reports 20%+ of
+operations promoted in 12 of 28 applications.
+
+In the IR this rewrites LOAD/STORE ops whose runtime base object is
+local (:attr:`~repro.ir.address.MemObject.is_local`) into SPAD_LOAD /
+SPAD_STORE compute ops with the same operands — they keep their latency
+and dataflow shape but no longer participate in disambiguation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import DFGraph
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Operation
+
+
+@dataclass
+class PromotionResult:
+    graph: DFGraph
+    n_promoted: int
+    n_kept: int
+
+    @property
+    def promoted_fraction(self) -> float:
+        total = self.n_promoted + self.n_kept
+        return self.n_promoted / total if total else 0.0
+
+
+def promote_scratchpad(graph: DFGraph) -> PromotionResult:
+    """Return a copy of *graph* with local accesses promoted."""
+    out = DFGraph(graph.name)
+    promoted = 0
+    kept = 0
+    for op in graph.ops:
+        if op.is_memory and op.addr.runtime_base.is_local:
+            promoted += 1
+            opcode = Opcode.SPAD_LOAD if op.is_load else Opcode.SPAD_STORE
+            out.add_op(
+                Operation(
+                    op_id=op.op_id,
+                    opcode=opcode,
+                    inputs=op.inputs,
+                    addr=None,
+                    name=op.name or f"spad{op.op_id}",
+                )
+            )
+        else:
+            if op.is_memory:
+                kept += 1
+            out.add_op(
+                Operation(
+                    op_id=op.op_id,
+                    opcode=op.opcode,
+                    inputs=op.inputs,
+                    addr=op.addr,
+                    name=op.name,
+                )
+            )
+    # MDEs never survive promotion: the pipeline re-runs afterwards.
+    return PromotionResult(graph=out, n_promoted=promoted, n_kept=kept)

@@ -1,0 +1,79 @@
+"""The Section IV-A scope-widening study.
+
+"Why is alias analysis suited to accelerators?"  The paper widens the
+alias-analysis scope from the offloaded path to the whole parent function
+and measures how many *new* MAY relations appear between region memory
+operations and parent-function memory operations.  For 12 of 27
+benchmarks the MAY count grows; bzip2, povray, and soplex grow 380x,
+100x, and 85x — the motivation for restricting analysis to the offload
+path.
+
+We reproduce this by pairing every region memory operation with every
+``parent_access`` of the owning function and classifying each pair with
+the stage-1 analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.compiler.aliasing.stage1 import analyze_stage1
+from repro.compiler.aliasing.symbolic import compare_offsets
+from repro.compiler.labels import AliasLabel
+from repro.ir.address import AddressExpr, MemObject, PointerParam
+from repro.ir.graph import DFGraph
+
+
+@dataclass
+class ScopeStudyResult:
+    """MAY counts before and after widening the analysis scope."""
+
+    region_may: int          # MAY pairs inside the region (path scope)
+    added_may: int           # new MAY pairs vs parent-function accesses
+    added_pairs: int         # all new pairs considered
+
+    @property
+    def may_increase_factor(self) -> float:
+        """How many times the MAY count grew (paper's 380x/100x/85x)."""
+        if self.region_may == 0:
+            return float(self.added_may) if self.added_may else 1.0
+        return (self.region_may + self.added_may) / self.region_may
+
+
+def _stage1_label(a: AddressExpr, b: AddressExpr) -> AliasLabel:
+    """Stage-1 classification of one cross-scope pair."""
+    base_a, base_b = a.base, b.base
+    if isinstance(base_a, MemObject) and isinstance(base_b, MemObject):
+        if base_a.uid != base_b.uid:
+            return AliasLabel.NO
+        return compare_offsets(a, b, single_iv_only=True).label
+    if (
+        isinstance(base_a, PointerParam)
+        and isinstance(base_b, PointerParam)
+        and base_a.uid == base_b.uid
+    ):
+        return compare_offsets(a, b, single_iv_only=True).label
+    return AliasLabel.MAY
+
+
+def widen_scope_study(
+    graph: DFGraph, parent_accesses: List[AddressExpr]
+) -> ScopeStudyResult:
+    """Count the MAY relations added by widening to the parent function."""
+    region_matrix = analyze_stage1(graph)
+    region_may = region_matrix.count(AliasLabel.MAY)
+
+    added_pairs = 0
+    added_may = 0
+    # Parent accesses are conservatively treated as stores, so every
+    # (region op, parent access) pair is disambiguation relevant.
+    for op in graph.memory_ops:
+        for parent in parent_accesses:
+            added_pairs += 1
+            if _stage1_label(op.addr, parent) is AliasLabel.MAY:
+                added_may += 1
+
+    return ScopeStudyResult(
+        region_may=region_may, added_may=added_may, added_pairs=added_pairs
+    )

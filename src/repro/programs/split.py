@@ -1,0 +1,125 @@
+"""Region splitting: fit oversized paths onto a bounded fabric.
+
+A NEEDLE path can exceed the CGRA's capacity (32x32 = 1024 functional
+units).  Rather than reject it, the extraction layer can split it into a
+chain of subregions along program order: each subregion receives the
+previous one's live values as fresh ``INPUT`` operations and executes as
+its own fenced offload.  Memory ordering across the cut is free — the
+fence between invocations orders everything, exactly like the
+CPU/accelerator fences of the paper's framework.
+
+Splitting preserves program order and every intra-chunk dependence; a
+cut value re-enters the next chunk as a live-in (in the real system it
+would round-trip through the scratchpad).  Each chunk is a well-formed
+region in its own right: it compiles, simulates, and checks against the
+program-order oracle independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.ir.graph import DFGraph
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Operation
+
+
+@dataclass
+class SplitRegion:
+    """One chunk of a split path."""
+
+    index: int
+    graph: DFGraph
+    #: original op id -> this chunk's INPUT op id, for values imported
+    #: from earlier chunks.
+    imports: Dict[int, int]
+
+
+def split_region(graph: DFGraph, max_ops: int) -> List[SplitRegion]:
+    """Split *graph* into program-order chunks of at most *max_ops* ops.
+
+    Values crossing a cut become INPUT ops in the consuming chunk (the
+    fabric would spill them through the scratchpad between offloads).
+    MDEs whose endpoints land in different chunks are dropped — the
+    inter-chunk fence supersedes them; MDEs within a chunk are kept.
+    """
+    if max_ops < 2:
+        raise ValueError("chunks need room for at least an input and an op")
+    if len(graph) <= max_ops:
+        return [SplitRegion(index=0, graph=graph, imports={})]
+
+    chunks: List[SplitRegion] = []
+    ops = graph.ops
+    position = 0
+    produced_in: Dict[int, int] = {}  # original op id -> chunk index
+
+    while position < len(ops):
+        chunk_graph = DFGraph(f"{graph.name}/part{len(chunks)}")
+        imports: Dict[int, int] = {}
+        id_map: Dict[int, int] = {}
+        next_id = 0
+
+        def ensure_import(orig_id: int) -> int:
+            nonlocal next_id
+            if orig_id in imports:
+                return imports[orig_id]
+            inp = Operation(next_id, Opcode.INPUT, name=f"live{orig_id}")
+            chunk_graph.add_op(inp)
+            imports[orig_id] = next_id
+            id_map[orig_id] = next_id
+            next_id += 1
+            return imports[orig_id]
+
+        # First pass: find which external values this chunk will need so
+        # imports precede consumers in program order.
+        window = ops[position : position + max_ops]
+        external = []
+        member_ids = {op.op_id for op in window}
+        for op in window:
+            for src in op.inputs:
+                if src not in member_ids and src not in external:
+                    external.append(src)
+        # Imports consume capacity too; shrink the window to fit.
+        while len(window) + len(external) > max_ops and len(window) > 1:
+            window = window[:-1]
+            member_ids = {op.op_id for op in window}
+            external = []
+            for op in window:
+                for src in op.inputs:
+                    if src not in member_ids and src not in external:
+                        external.append(src)
+
+        for orig_id in external:
+            ensure_import(orig_id)
+        for op in window:
+            id_map[op.op_id] = next_id
+            chunk_graph.add_op(
+                Operation(
+                    op_id=next_id,
+                    opcode=op.opcode,
+                    inputs=tuple(id_map[s] for s in op.inputs),
+                    addr=op.addr,
+                    name=op.name,
+                )
+            )
+            produced_in[op.op_id] = len(chunks)
+            next_id += 1
+
+        for edge in graph.mdes:
+            if edge.src in member_ids and edge.dst in member_ids:
+                from repro.ir.graph import MemoryDependencyEdge
+
+                chunk_graph.add_mde(
+                    MemoryDependencyEdge(
+                        id_map[edge.src], id_map[edge.dst], edge.kind
+                    )
+                )
+
+        chunk_graph.validate()
+        chunks.append(
+            SplitRegion(index=len(chunks), graph=chunk_graph, imports=imports)
+        )
+        position += len(window)
+
+    return chunks

@@ -1,0 +1,16 @@
+"""Memory-disambiguation backends: OPT-LSQ, SPEC-LSQ, NACHOS-SW, NACHOS."""
+
+from repro.sim.backends.lsq import LSQConfig, OptLSQBackend
+from repro.sim.backends.nachos_sw import NachosSWBackend
+from repro.sim.backends.nachos_hw import NachosBackend
+from repro.sim.backends.spec_lsq import SpecLSQBackend, SpecLSQConfig, StoreSetPredictor
+
+__all__ = [
+    "LSQConfig",
+    "NachosBackend",
+    "NachosSWBackend",
+    "OptLSQBackend",
+    "SpecLSQBackend",
+    "SpecLSQConfig",
+    "StoreSetPredictor",
+]

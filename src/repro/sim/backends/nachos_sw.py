@@ -1,0 +1,19 @@
+"""NACHOS-SW: compiler-only enforcement (paper Section V).
+
+All MDEs — including MAY edges, which the compiler could not prove — are
+enforced as dataflow ordering: the younger memory operation waits for the
+older one to complete.  No disambiguation hardware exists; memory
+operations with no incoming MDEs go straight to the cache, which is what
+gives NACHOS-SW its load-to-use advantage over the LSQ on cache hits.
+"""
+
+from __future__ import annotations
+
+from repro.sim.backends.base import MDEBackendBase
+
+
+class NachosSWBackend(MDEBackendBase):
+    """Software-only memory disambiguation (MAY serialized as MUST)."""
+
+    name = "nachos-sw"
+    hardware_checks = False

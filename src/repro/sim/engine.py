@@ -1,0 +1,393 @@
+"""The cycle-level dataflow execution engine.
+
+One :class:`DataflowEngine` simulates a placed region over a sequence of
+invocations.  Within an invocation:
+
+* source ops (INPUT/CONST) complete at the invocation start,
+* a compute op starts when all operands have arrived (operand-network hop
+  latency included) and completes after its opcode latency,
+* memory ops hand control to the disambiguation backend once their
+  address (and, for stores, value) operands arrive; the backend decides
+  *when* the cache access or forward happens, using the engine's
+  ``do_load`` / ``do_store`` / ``forward_load`` services.
+
+The engine also runs the functional value semantics of
+:mod:`repro.sim.values` so that backend ordering mistakes corrupt values
+observably (see :mod:`repro.sim.oracle`): loads read byte-granular value
+memory at their completion instant, stores publish at theirs, and every
+ordering constraint between conflicting operations separates the two
+instants by at least one cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.cgra.placement import Placement
+from repro.energy.accounting import EnergyLedger
+from repro.energy.config import EnergyEvent
+from repro.ir.graph import DFGraph
+from repro.ir.opcodes import Opcode, is_fp
+from repro.ir.ops import Operation
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.config import EngineConfig
+from repro.sim.result import BackendStats, SimResult
+from repro.sim.values import ValueMemory, forwarded_value, mix
+
+_OPCODE_ID = {opcode: i for i, opcode in enumerate(Opcode)}
+
+
+class _OpRun:
+    """Per-invocation dynamic state of one operation."""
+
+    __slots__ = (
+        "pending_addr",
+        "pending_value",
+        "addr_time",
+        "value_time",
+        "inputs_time",
+        "addr_notified",
+        "value_notified",
+        "completed",
+        "complete_time",
+    )
+
+    def __init__(self, pending_addr: int, pending_value: int) -> None:
+        self.pending_addr = pending_addr
+        self.pending_value = pending_value
+        self.addr_time = 0
+        self.value_time = 0
+        self.inputs_time = 0
+        self.addr_notified = False
+        self.value_notified = False
+        self.completed = False
+        self.complete_time = -1
+
+
+class DataflowEngine:
+    """Simulates a region graph against one disambiguation backend."""
+
+    def __init__(
+        self,
+        graph: DFGraph,
+        placement: Placement,
+        hierarchy: MemoryHierarchy,
+        backend: "DisambiguationBackend",
+        energy: Optional[EnergyLedger] = None,
+        config: Optional[EngineConfig] = None,
+        recorder: Optional["TimelineRecorder"] = None,
+    ) -> None:
+        self.graph = graph
+        self.placement = placement
+        self.hierarchy = hierarchy
+        self.backend = backend
+        self.energy = energy if energy is not None else EnergyLedger()
+        self.config = config or EngineConfig()
+        self.recorder = recorder
+
+        self.memory = ValueMemory()
+        self.values: Dict[int, int] = {}
+        self.addr_of: Dict[int, Tuple[int, int]] = {}
+        self.load_values: Dict[Tuple[int, int], int] = {}
+
+        self._events: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq = count()
+        self._run: Dict[int, _OpRun] = {}
+        self._inv_index = 0
+        self._inv_end = 0
+
+        self._ops = graph.ops
+        self._users: Dict[int, List[int]] = {
+            op.op_id: graph.users_of(op.op_id) for op in self._ops
+        }
+        # Per-directed-link next-free cycle (only with link contention).
+        self._link_free: Dict[Tuple, int] = {}
+        backend.attach(self, graph, placement)
+
+    # ------------------------------------------------------------------
+    # Event plumbing (also used by backends)
+    # ------------------------------------------------------------------
+    def schedule(self, time: int, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._events, (time, next(self._seq), fn))
+
+    def _drain_events(self) -> None:
+        while self._events:
+            _, _, fn = heapq.heappop(self._events)
+            fn()
+
+    # ------------------------------------------------------------------
+    # Public run loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        invocations: Iterable[Mapping[str, int]],
+        region_name: Optional[str] = None,
+    ) -> SimResult:
+        per_inv: List[int] = []
+        clock = 0
+        n = 0
+        for env in invocations:
+            start = clock
+            end = self._run_invocation(n, start, env)
+            per_inv.append(end - start)
+            clock = end + self.config.invocation_gap
+            n += 1
+
+        total = max(clock - self.config.invocation_gap, 0) if n else 0
+        return SimResult(
+            region=region_name or self.graph.name,
+            backend=self.backend.name,
+            invocations=n,
+            cycles=total,
+            per_invocation_cycles=per_inv,
+            energy=self.energy,
+            backend_stats=self.backend.stats,
+            load_values=dict(self.load_values),
+            memory_image=self.memory.snapshot(),
+            l1_hits=self.hierarchy.l1.stats.hits,
+            l1_misses=self.hierarchy.l1.stats.misses,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_invocation(self, inv: int, t0: int, env: Mapping[str, int]) -> int:
+        self._inv_index = inv
+        self._inv_end = t0
+        self.values.clear()
+        self.addr_of.clear()
+        self._run.clear()
+
+        for op in self._ops:
+            if op.is_memory:
+                addr = op.addr.evaluate(env)
+                self.addr_of[op.op_id] = (addr, op.addr.width)
+            n_inputs = len(op.inputs)
+            if op.is_store:
+                state = _OpRun(pending_addr=n_inputs - 1, pending_value=1)
+            else:
+                state = _OpRun(pending_addr=n_inputs, pending_value=0)
+            self._run[op.op_id] = state
+            state.addr_time = t0
+            state.value_time = t0
+            state.inputs_time = t0
+
+        self.backend.begin_invocation(inv, t0, dict(self.addr_of))
+
+        for op in self._ops:
+            state = self._run[op.op_id]
+            if op.opcode in (Opcode.INPUT, Opcode.CONST):
+                self._complete_source(op, t0)
+            elif op.is_memory and state.pending_addr == 0 and not state.addr_notified:
+                # Constant-address memory op: address is ready at t0.
+                state.addr_notified = True
+                self.schedule(t0, self._make_addr_notify(op, t0))
+            elif not op.is_memory and not op.inputs:
+                # Zero-input compute (e.g. a promoted scratchpad access
+                # with a constant address) fires at the invocation start.
+                self._start_compute(op, t0)
+
+        self._drain_events()
+        self.backend.end_invocation()
+        if self.recorder is not None:
+            self.recorder.capture(self.graph, inv, t0, self._inv_end, self._run)
+        return self._inv_end
+
+    def _make_addr_notify(self, op: Operation, t: int) -> Callable[[], None]:
+        return lambda: self.backend.on_addr_ready(op, t)
+
+    # ------------------------------------------------------------------
+    # Value helpers
+    # ------------------------------------------------------------------
+    def _source_value(self, op: Operation, inv: int) -> int:
+        if op.opcode is Opcode.CONST:
+            return mix(0xC0, op.op_id)
+        return mix(0x1F, op.op_id, inv)
+
+    def _compute_value(self, op: Operation) -> int:
+        return mix(_OPCODE_ID[op.opcode], *(self.values[i] for i in op.inputs))
+
+    # ------------------------------------------------------------------
+    # Completion paths
+    # ------------------------------------------------------------------
+    def _complete_source(self, op: Operation, t: int) -> None:
+        self.values[op.op_id] = self._source_value(op, self._inv_index)
+        self._finish(op, t)
+
+    def _start_compute(self, op: Operation, t: int) -> None:
+        done = t + op.latency
+        if is_fp(op.opcode):
+            self.energy.charge(EnergyEvent.ALU_FP)
+        else:
+            self.energy.charge(EnergyEvent.ALU_INT)
+
+        def complete() -> None:
+            self.values[op.op_id] = self._compute_value(op)
+            self._finish(op, done)
+
+        self.schedule(done, complete)
+
+    def _finish(self, op: Operation, t: int) -> None:
+        """Deliver *op*'s value to consumers and record completion."""
+        state = self._run[op.op_id]
+        state.completed = True
+        state.complete_time = t
+        self._inv_end = max(self._inv_end, t)
+        if op.is_memory:
+            self.backend.on_memory_complete(op, t)
+
+        for user_id in self._users[op.op_id]:
+            user = self.graph.op(user_id)
+            hops = self.placement.hops(op.op_id, user_id)
+            if self.config.charge_network and hops:
+                self.energy.charge(EnergyEvent.NET_LINK, hops)
+            if self.config.model_link_contention and hops:
+                arrive = self._route_with_contention(op.op_id, user_id, t)
+            else:
+                arrive = t + self.placement.route_latency(op.op_id, user_id)
+            self._deliver(user, op.op_id, arrive)
+
+    def _route_with_contention(self, src: int, dst: int, t: int) -> int:
+        """Walk the XY route reserving one cycle per directed link."""
+        hop_latency = self.placement.config.hop_latency
+        when = t
+        for link in self.placement.xy_route(src, dst):
+            start = max(when, self._link_free.get(link, 0))
+            self._link_free[link] = start + 1
+            when = start + hop_latency
+        return when
+
+    def _deliver(self, user: Operation, src: int, t: int) -> None:
+        state = self._run[user.op_id]
+        # A producer may feed several operand positions (e.g. both the
+        # address and the value of a store); count each position.
+        last = len(user.inputs) - 1
+        for pos, inp in enumerate(user.inputs):
+            if inp != src:
+                continue
+            if user.is_store and pos == last:
+                state.pending_value -= 1
+                state.value_time = max(state.value_time, t)
+            else:
+                state.pending_addr -= 1
+                state.addr_time = max(state.addr_time, t)
+        state.inputs_time = max(state.inputs_time, t)
+
+        if user.is_memory:
+            if state.pending_addr == 0 and not state.addr_notified:
+                state.addr_notified = True
+                self.backend.on_addr_ready(user, state.addr_time)
+            if (
+                user.is_store
+                and state.pending_value == 0
+                and not state.value_notified
+            ):
+                state.value_notified = True
+                self.backend.on_value_ready(user, state.value_time)
+        elif state.pending_addr == 0:
+            self._start_compute(user, state.inputs_time)
+
+    # ------------------------------------------------------------------
+    # Backend services
+    # ------------------------------------------------------------------
+    def state_of(self, op_id: int) -> _OpRun:
+        return self._run[op_id]
+
+    def do_load(self, op: Operation, t_start: int) -> int:
+        """Issue *op*'s cache read beginning at ``t_start``.
+
+        Returns the completion cycle.  The value is read from value
+        memory at the completion instant; every ordered older store has
+        published strictly earlier and every ordered younger store
+        publishes strictly later (backends guarantee both).
+        """
+        addr, width = self.addr_of[op.op_id]
+        edge = self.placement.edge_latency(op.op_id)
+        result = self.hierarchy.access(addr, is_write=False, cycle=t_start + edge)
+        self.energy.charge(EnergyEvent.L1_READ)
+        if self.config.charge_network:
+            hops = self.placement.edge_hops(op.op_id)
+            if hops:
+                self.energy.charge(EnergyEvent.NET_LINK, 2 * hops)
+        done = result.complete + edge
+
+        def complete() -> None:
+            value = self.memory.load(addr, width)
+            self.values[op.op_id] = value
+            self.load_values[(self._inv_index, op.op_id)] = value
+            self._finish(op, done)
+
+        self.schedule(done, complete)
+        return done
+
+    def do_store(self, op: Operation, t_start: int) -> int:
+        """Issue *op*'s cache write beginning at ``t_start``."""
+        addr, width = self.addr_of[op.op_id]
+        edge = self.placement.edge_latency(op.op_id)
+        result = self.hierarchy.access(addr, is_write=True, cycle=t_start + edge)
+        self.energy.charge(EnergyEvent.L1_WRITE)
+        if self.config.charge_network:
+            hops = self.placement.edge_hops(op.op_id)
+            if hops:
+                self.energy.charge(EnergyEvent.NET_LINK, hops)
+        value = self.values[op.inputs[-1]]
+        done = result.complete
+
+        def complete() -> None:
+            self.memory.store(addr, width, value)
+            self.values[op.op_id] = value
+            self._finish(op, done)
+
+        self.schedule(done, complete)
+        return done
+
+    def forward_load(self, op: Operation, src_store: Operation, t: int) -> int:
+        """Complete load *op* at ``t`` with *src_store*'s value."""
+        _, width = self.addr_of[op.op_id]
+        value = forwarded_value(self.values[src_store.inputs[-1]], width)
+
+        def complete() -> None:
+            self.values[op.op_id] = value
+            self.load_values[(self._inv_index, op.op_id)] = value
+            self._finish(op, t)
+
+        self.schedule(t, complete)
+        return t
+
+
+class DisambiguationBackend:
+    """Interface every memory-ordering backend implements."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = BackendStats()
+        self.engine: Optional[DataflowEngine] = None
+        self.graph: Optional[DFGraph] = None
+        self.placement: Optional[Placement] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def attach(
+        self, engine: DataflowEngine, graph: DFGraph, placement: Placement
+    ) -> None:
+        self.engine = engine
+        self.graph = graph
+        self.placement = placement
+
+    def begin_invocation(
+        self, inv: int, t0: int, addr_of: Dict[int, Tuple[int, int]]
+    ) -> None:
+        raise NotImplementedError
+
+    def end_invocation(self) -> None:
+        pass
+
+    # -- engine notifications -------------------------------------------
+    def on_addr_ready(self, op: Operation, t: int) -> None:
+        raise NotImplementedError
+
+    def on_value_ready(self, op: Operation, t: int) -> None:
+        raise NotImplementedError
+
+    def on_memory_complete(self, op: Operation, t: int) -> None:
+        raise NotImplementedError

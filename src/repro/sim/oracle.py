@@ -1,0 +1,62 @@
+"""The program-order golden model.
+
+Executes a region's invocations strictly in program order with the same
+functional value semantics as the timing engine.  Any backend that
+enforces memory ordering correctly must reproduce the oracle's load
+values and final memory image exactly — this is the correctness contract
+the property-based tests check for all three disambiguation schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.ir.graph import DFGraph
+from repro.ir.opcodes import Opcode
+from repro.sim.engine import _OPCODE_ID
+from repro.sim.values import ValueMemory, mix
+
+
+@dataclass
+class GoldenResult:
+    """Reference outputs of program-order execution."""
+
+    load_values: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    memory_image: Tuple[Tuple[int, int], ...] = ()
+
+    def matches(self, load_values: Mapping[Tuple[int, int], int], memory_image) -> bool:
+        return (
+            dict(self.load_values) == dict(load_values)
+            and tuple(self.memory_image) == tuple(memory_image)
+        )
+
+
+def golden_execute(
+    graph: DFGraph, invocations: Iterable[Mapping[str, int]]
+) -> GoldenResult:
+    """Run *graph* in strict program order over *invocations*."""
+    memory = ValueMemory()
+    result = GoldenResult()
+    for inv, env in enumerate(invocations):
+        values: Dict[int, int] = {}
+        for op in graph.ops:
+            if op.opcode is Opcode.CONST:
+                values[op.op_id] = mix(0xC0, op.op_id)
+            elif op.opcode is Opcode.INPUT:
+                values[op.op_id] = mix(0x1F, op.op_id, inv)
+            elif op.is_load:
+                addr = op.addr.evaluate(env)
+                values[op.op_id] = memory.load(addr, op.addr.width)
+                result.load_values[(inv, op.op_id)] = values[op.op_id]
+            elif op.is_store:
+                addr = op.addr.evaluate(env)
+                value = values[op.inputs[-1]]
+                memory.store(addr, op.addr.width, value)
+                values[op.op_id] = value
+            else:
+                values[op.op_id] = mix(
+                    _OPCODE_ID[op.opcode], *(values[i] for i in op.inputs)
+                )
+    result.memory_image = memory.snapshot()
+    return result

@@ -1,0 +1,80 @@
+"""Simulation outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.energy.accounting import EnergyBreakdown, EnergyLedger
+
+
+@dataclass
+class BackendStats:
+    """Backend-specific dynamic event counters."""
+
+    # OPT-LSQ
+    bloom_probes: int = 0
+    bloom_hits: int = 0
+    cam_checks: int = 0
+    lsq_forwards: int = 0
+    # NACHOS
+    comparator_checks: int = 0
+    comparator_conflicts: int = 0
+    runtime_forwards: int = 0
+    order_waits: int = 0
+    # SPEC-LSQ (speculative baseline)
+    speculations: int = 0
+    violations: int = 0
+    replays: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.violations / self.speculations if self.speculations else 0.0
+
+    @property
+    def bloom_hit_rate(self) -> float:
+        return self.bloom_hits / self.bloom_probes if self.bloom_probes else 0.0
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run produces."""
+
+    region: str
+    backend: str
+    invocations: int
+    cycles: int
+    per_invocation_cycles: List[int]
+    energy: EnergyLedger
+    backend_stats: BackendStats
+    load_values: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    memory_image: Tuple[Tuple[int, int], ...] = ()
+    l1_hits: int = 0
+    l1_misses: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_invocation_cycles(self) -> float:
+        if not self.per_invocation_cycles:
+            return 0.0
+        return sum(self.per_invocation_cycles) / len(self.per_invocation_cycles)
+
+    @property
+    def energy_breakdown(self) -> EnergyBreakdown:
+        return self.energy.breakdown()
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy.total
+
+    def speedup_over(self, other: "SimResult") -> float:
+        """>1 means *self* is faster than *other*."""
+        if self.cycles == 0:
+            return float("inf")
+        return other.cycles / self.cycles
+
+    def slowdown_pct_vs(self, other: "SimResult") -> float:
+        """Positive = slower than *other* (Figure 11/15 convention)."""
+        if other.cycles == 0:
+            return 0.0
+        return (self.cycles - other.cycles) / other.cycles * 100.0

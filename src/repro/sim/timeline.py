@@ -1,0 +1,88 @@
+"""Per-operation execution timelines (debugging / visualization aid).
+
+A :class:`TimelineRecorder` passed to the engine captures each
+invocation's per-op completion times; :func:`render_timeline` draws a
+text gantt of
+one invocation — handy for seeing a MAY chain serialize under NACHOS-SW
+or an LSQ stall a ready load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.graph import DFGraph
+
+
+@dataclass
+class OpTiming:
+    op_id: int
+    opcode: str
+    name: str
+    complete: int
+
+
+@dataclass
+class InvocationTimeline:
+    index: int
+    start: int
+    end: int
+    timings: List[OpTiming] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+    def completion_of(self, op_id: int) -> int:
+        for t in self.timings:
+            if t.op_id == op_id:
+                return t.complete
+        raise KeyError(op_id)
+
+
+class TimelineRecorder:
+    """Collects invocation timelines from a :class:`DataflowEngine`."""
+
+    def __init__(self) -> None:
+        self.invocations: List[InvocationTimeline] = []
+
+    def capture(self, graph: DFGraph, index: int, start: int, end: int, runs) -> None:
+        timeline = InvocationTimeline(index=index, start=start, end=end)
+        for op in graph.ops:
+            state = runs.get(op.op_id)
+            if state is None or not state.completed:
+                continue
+            timeline.timings.append(
+                OpTiming(
+                    op_id=op.op_id,
+                    opcode=op.opcode.value,
+                    name=op.name,
+                    complete=state.complete_time,
+                )
+            )
+        self.invocations.append(timeline)
+
+    def __len__(self) -> int:
+        return len(self.invocations)
+
+
+def render_timeline(
+    timeline: InvocationTimeline,
+    width: int = 60,
+    memory_only: bool = False,
+) -> str:
+    """A text gantt: one row per op, '#' marks its completion cycle."""
+    span = max(1, timeline.cycles)
+    lines = [
+        f"invocation {timeline.index}: cycles {timeline.start}..{timeline.end} "
+        f"({timeline.cycles} cycles)"
+    ]
+    for t in sorted(timeline.timings, key=lambda x: (x.complete, x.op_id)):
+        if memory_only and t.opcode not in ("load", "store"):
+            continue
+        pos = int((t.complete - timeline.start) / span * (width - 1))
+        bar = "." * pos + "#"
+        label = t.name or f"op{t.op_id}"
+        lines.append(f"{label[:18]:>18} {t.opcode:>6} |{bar:<{width}}| @{t.complete}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""The 27-benchmark workload suite (135 regions) of the paper's study.
+
+The paper evaluates acceleration paths extracted from SPEC2000, SPEC2006,
+and PARSEC (released at IISWC'16).  We cannot ship those sources; instead
+each benchmark has a synthetic generator parameterized by its Table II
+characteristics (operation counts, memory ops, MLP, dependence counts,
+scratchpad fraction) and by the paper's per-benchmark narrative — which
+alias-analysis stage resolves its MAY labels, its comparator fan-in
+shape, its bloom-filter behaviour, and its cache footprint.
+
+Entry points:
+
+* :data:`~repro.workloads.suite.SUITE` — the 27 benchmark specs,
+* :func:`~repro.workloads.suite.get_spec` / ``benchmark_names()``,
+* :func:`~repro.workloads.generator.build_workload` — materialize one
+  region (graph + invocation trace) for a spec,
+* :func:`~repro.workloads.suite.build_program` — the whole program
+  (top-5 paths) for the NEEDLE extraction layer.
+"""
+
+from repro.workloads.spec import BenchmarkSpec, Mechanism
+from repro.workloads.generator import Workload, build_workload
+from repro.workloads.micro import MICROS, build_micro, micro_names
+from repro.workloads.characterize import (
+    WorkloadProfile,
+    measured_mlp,
+    profile_workload,
+)
+from repro.workloads.suite import (
+    SUITE,
+    benchmark_names,
+    build_program,
+    get_spec,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "MICROS",
+    "Mechanism",
+    "SUITE",
+    "Workload",
+    "WorkloadProfile",
+    "benchmark_names",
+    "build_micro",
+    "build_program",
+    "build_workload",
+    "get_spec",
+    "measured_mlp",
+    "micro_names",
+    "profile_workload",
+]

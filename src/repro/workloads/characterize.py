@@ -1,0 +1,139 @@
+"""Measured workload characterization (beyond the static Table II).
+
+Computes, from a workload's graph and trace, the quantities the paper's
+Section IV observations rest on:
+
+* **measured MLP** — the widest antichain of memory operations in the
+  data+MUST dependence order (how many memory ops *could* be in flight),
+* **footprint** — distinct bytes/lines touched over a trace (what decides
+  L1 residency and the bloom filter's population),
+* **conflict density** — how often two disambiguation-relevant ops really
+  overlap at runtime (what NACHOS's checks will find),
+* **reuse distances** — per-line gaps between touches (cache behaviour).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.compiler.labels import pair_kind
+from repro.ir.graph import DFGraph, MDEKind
+from repro.workloads.generator import Workload
+
+
+@dataclass
+class WorkloadProfile:
+    """Measured characteristics of one workload over one trace."""
+
+    name: str
+    n_ops: int
+    n_mem: int
+    measured_mlp: int
+    footprint_bytes: int
+    footprint_lines: int
+    conflict_pairs: int          # dynamic (pair, invocation) conflicts
+    relevant_pairs: int          # ST-ST/ST-LD/LD-ST pairs x invocations
+    reuse_histogram: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def conflict_density(self) -> float:
+        if not self.relevant_pairs:
+            return 0.0
+        return self.conflict_pairs / self.relevant_pairs
+
+
+def measured_mlp(graph: DFGraph) -> int:
+    """Widest layer of memory ops under data + MUST-MDE ordering.
+
+    Computes each memory op's depth (longest ordered chain of *memory
+    ops* leading to it); ops sharing a depth could issue concurrently,
+    so the largest depth-class size is the achievable MLP.
+    """
+    mem_ids = [op.op_id for op in graph.memory_ops]
+    if not mem_ids:
+        return 0
+    succ: Dict[int, List[int]] = {op.op_id: [] for op in graph.ops}
+    for op in graph.ops:
+        for src in op.inputs:
+            succ[src].append(op.op_id)
+    for edge in graph.mdes:
+        if edge.kind in (MDEKind.ORDER, MDEKind.FORWARD):
+            succ[edge.src].append(edge.dst)
+
+    mem_set = set(mem_ids)
+    depth: Dict[int, int] = {}
+    for op in graph.ops:  # program order is topological
+        oid = op.op_id
+        base = depth.get(oid, 0)
+        bump = 1 if oid in mem_set else 0
+        for nxt in succ[oid]:
+            depth[nxt] = max(depth.get(nxt, 0), base + bump)
+    classes: Dict[int, int] = defaultdict(int)
+    for oid in mem_ids:
+        classes[depth.get(oid, 0)] += 1
+    return max(classes.values())
+
+
+def _bucket(distance: int) -> str:
+    if distance == 0:
+        return "same-invocation"
+    if distance <= 2:
+        return "<=2"
+    if distance <= 8:
+        return "<=8"
+    if distance <= 32:
+        return "<=32"
+    return ">32"
+
+
+def profile_workload(
+    workload: Workload, invocations: int = 32, line_bytes: int = 64
+) -> WorkloadProfile:
+    """Run the trace symbolically and measure the dynamic quantities."""
+    graph = workload.graph
+    envs = workload.invocations(invocations)
+    mem = graph.memory_ops
+
+    touched_bytes = set()
+    last_touch: Dict[int, int] = {}
+    reuse: Dict[str, int] = defaultdict(int)
+    conflicts = 0
+    relevant = 0
+
+    for inv, env in enumerate(envs):
+        accesses: List[Tuple[int, int, bool]] = []
+        for op in mem:
+            addr = op.addr.evaluate(env)
+            width = op.addr.width
+            accesses.append((addr, width, op.is_store))
+            for k in range(width):
+                touched_bytes.add(addr + k)
+            line = addr // line_bytes
+            if line in last_touch:
+                reuse[_bucket(inv - last_touch[line])] += 1
+            last_touch[line] = inv
+        for i, older in enumerate(mem):
+            a_addr, a_w, _ = accesses[i]
+            for j in range(i + 1, len(mem)):
+                younger = mem[j]
+                if pair_kind(older, younger) is None:
+                    continue
+                relevant += 1
+                b_addr, b_w, _ = accesses[j]
+                if a_addr < b_addr + b_w and b_addr < a_addr + a_w:
+                    conflicts += 1
+
+    lines = {byte // line_bytes for byte in touched_bytes}
+    return WorkloadProfile(
+        name=workload.name,
+        n_ops=len(graph),
+        n_mem=len(mem),
+        measured_mlp=measured_mlp(graph),
+        footprint_bytes=len(touched_bytes),
+        footprint_lines=len(lines),
+        conflict_pairs=conflicts,
+        relevant_pairs=relevant,
+        reuse_histogram=dict(reuse),
+    )

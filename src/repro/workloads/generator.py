@@ -1,0 +1,404 @@
+"""Region synthesis from a :class:`~repro.workloads.spec.BenchmarkSpec`.
+
+The generator builds a branch-free region DFG whose *disambiguation-
+relevant* structure matches one benchmark row of Table II:
+
+* ``n_mem`` non-local memory operations arranged into MLP-sized layers
+  (layer k+1's address generation depends on a reduction of layer k's
+  loads, bounding the memory parallelism at ``mlp``),
+* the C4 dependence counts as exact-address ST-LD / LD-ST / ST-ST pairs,
+* the remaining memory ops drawn from the spec's mechanism mix (see
+  :mod:`repro.workloads.spec`), which determines which pipeline stage can
+  disambiguate them,
+* ``pct_local`` scratchpad accesses on a stack object (promoted away by
+  the NEEDLE layer before disambiguation),
+* compute filler (integer or floating point per ``fp_frac``) forming the
+  load-use chains that put memory on the critical path.
+
+The same object also produces the dynamic side: per-invocation bindings
+for every induction variable and opaque symbol, giving each memory op a
+concrete address stream with the spec's stride/footprint (and therefore
+its cache behaviour).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ir.address import (
+    AddressExpr,
+    AffineExpr,
+    IVar,
+    MemObject,
+    MemorySpace,
+    PointerParam,
+    Sym,
+)
+from repro.ir.builder import RegionBuilder
+from repro.ir.graph import DFGraph
+from repro.ir.ops import Operation
+from repro.programs.promote import promote_scratchpad
+from repro.workloads.spec import BenchmarkSpec, Mechanism
+
+#: Per-path scaling of region size for the top-5 paths of a benchmark.
+PATH_SCALES = (1.0, 0.85, 0.7, 0.6, 0.5)
+PATH_WEIGHTS = (0.40, 0.25, 0.15, 0.12, 0.08)
+
+_WIDTH = 8  # all accesses are 8-byte (the paper's 64-bit values)
+
+
+@dataclass
+class Workload:
+    """A materialized region plus its dynamic trace generator."""
+
+    spec: BenchmarkSpec
+    path_index: int
+    seed: int
+    graph: DFGraph                    # after scratchpad promotion
+    raw_graph: DFGraph                # before promotion (Table II stats)
+    n_promoted: int
+    ivars: Tuple[IVar, ...]
+    syms: Tuple[Sym, ...]
+    weight: float = 1.0
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name}/path{self.path_index}"
+
+    def invocations(self, n: int) -> List[Dict[str, int]]:
+        """Deterministic per-invocation variable bindings."""
+        rng = random.Random((self.seed << 8) ^ 0xA5A5)
+        envs: List[Dict[str, int]] = []
+        for inv in range(n):
+            env: Dict[str, int] = {}
+            for k, iv in enumerate(self.ivars):
+                if k == 0:
+                    env[iv.name] = inv % iv.trip_count
+                else:
+                    # Secondary induction variables advance out of phase.
+                    env[iv.name] = (3 + 7 * inv + 5 * k) % iv.trip_count
+            for sym in self.syms:
+                env[sym.name] = rng.randrange(self.spec.indirect_range)
+            envs.append(env)
+        return envs
+
+
+@dataclass
+class _MemPlan:
+    """One planned memory operation before graph emission."""
+
+    is_store: bool
+    addr: AddressExpr
+    mechanism: Optional[Mechanism]
+    dep_tag: str = ""
+
+
+def _alloc_addresses(base: int, size: int) -> Tuple[int, int]:
+    """Bump allocator keeping objects line-disjoint."""
+    aligned = (base + 63) // 64 * 64
+    return aligned, aligned + size + 64
+
+
+class _RegionPlanner:
+    """Plans the memory operations of one region."""
+
+    def __init__(self, spec: BenchmarkSpec, path_index: int, seed: int) -> None:
+        self.spec = spec
+        self.path_index = path_index
+        self.rng = random.Random(seed)
+        self.scale = PATH_SCALES[path_index % len(PATH_SCALES)]
+        self._next_addr = 0x10000 * (1 + path_index)
+        self.ivars: List[IVar] = []
+        self.syms: List[Sym] = []
+
+        self.i = IVar("i", spec.trip_count)
+        self.j = IVar("j", max(8, spec.trip_count // 4))
+        self.ivars = [self.i, self.j]
+        self._shared: Optional[MemObject] = None
+
+    # ------------------------------------------------------------------
+    def _object(self, name: str, size: int, space=MemorySpace.HEAP) -> MemObject:
+        base, self._next_addr = _alloc_addresses(self._next_addr, size)
+        return MemObject(
+            name=f"{self.spec.name}.{name}", size=size, space=space, base_addr=base
+        )
+
+    def _sym(self, name: str) -> Sym:
+        s = Sym(f"{name}")
+        self.syms.append(s)
+        return s
+
+    # ------------------------------------------------------------------
+    def plan(self) -> List[_MemPlan]:
+        spec = self.spec
+        n_mem = round(spec.n_mem * self.scale)
+        if spec.n_mem > 0:
+            n_mem = max(2, n_mem)
+        if n_mem == 0:
+            return []
+
+        plans: List[_MemPlan] = []
+        plans.extend(self._plan_dep_pairs(n_mem))
+        n_free = n_mem - len(plans)
+        if n_free > 0:
+            plans.extend(self._plan_free_ops(n_free, len(plans)))
+        return plans
+
+    # ------------------------------------------------------------------
+    def _plan_dep_pairs(self, n_mem: int) -> List[_MemPlan]:
+        """Exact-address MUST pairs for the Table II C4 counts.
+
+        C4 reports *dynamic* dependence counts; statically we cap the
+        dependence pairs at half the memory budget so the mechanism mix
+        still shapes the region's ambiguity.
+        """
+        spec = self.spec
+        budget = max(2, n_mem // 2)
+        scaled = [
+            ("st_ld", max(0, round(spec.dep_st_ld * self.scale / 2))),
+            ("ld_st", max(0, round(spec.dep_ld_st * self.scale / 2))),
+            ("st_st", max(0, round(spec.dep_st_st * self.scale / 2))),
+        ]
+        dep_array = self._object("dep", spec.trip_count * _WIDTH + 4096)
+        plans: List[_MemPlan] = []
+        slot = 0
+        for tag, pairs in scaled:
+            for _ in range(pairs):
+                if budget - len(plans) < 2:
+                    return plans
+                offset = AffineExpr.of(const=slot * 64, ivs={self.i: _WIDTH})
+                addr = AddressExpr(dep_array, offset, width=_WIDTH)
+                slot += 1
+                first_store = tag in ("st_ld", "st_st")
+                second_store = tag in ("ld_st", "st_st")
+                plans.append(_MemPlan(first_store, addr, None, dep_tag=f"{tag}:older"))
+                plans.append(_MemPlan(second_store, addr, None, dep_tag=f"{tag}:younger"))
+        return plans
+
+    # ------------------------------------------------------------------
+    def _plan_free_ops(self, n_free: int, n_dep_ops: int) -> List[_MemPlan]:
+        spec = self.spec
+        counts = spec.mechanism_counts(n_free)
+
+        # Store budget: aim at store_frac over all memory ops.
+        target_stores = round(spec.store_frac * (n_free + n_dep_ops))
+        # Dep pairs contributed roughly half stores already.
+        free_stores = max(0, min(n_free, target_stores - n_dep_ops // 2))
+
+        plans: List[_MemPlan] = []
+        # STRIDED first so indirect_on_shared can target its array.
+        ordered = sorted(
+            counts.items(), key=lambda kv: 0 if kv[0] is Mechanism.STRIDED else 1
+        )
+        for mech, count in ordered:
+            plans.extend(self._plan_mechanism(mech, count))
+        self.rng.shuffle(plans)
+        for k, plan in enumerate(plans):
+            plan.is_store = k < free_stores
+        self.rng.shuffle(plans)
+        return plans
+
+    def _plan_mechanism(self, mech: Mechanism, count: int) -> List[_MemPlan]:
+        if count <= 0:
+            return []
+        spec = self.spec
+        stride = spec.stride
+        span = spec.trip_count * stride
+        plans: List[_MemPlan] = []
+
+        if mech is Mechanism.DISTINCT:
+            for k in range(count):
+                obj = self._object(f"arr{k}", span + 64)
+                offset = AffineExpr.of(ivs={self.i: stride})
+                plans.append(
+                    _MemPlan(False, AddressExpr(obj, offset, _WIDTH), mech)
+                )
+
+        elif mech is Mechanism.STRIDED:
+            # One shared array; ops at distinct constant lane offsets.
+            lane = _WIDTH
+            wide_stride = max(stride, lane * count)
+            obj = self._object("shared", spec.trip_count * wide_stride + 64)
+            self._shared = obj
+            for k in range(count):
+                offset = AffineExpr.of(const=k * lane, ivs={self.i: wide_stride})
+                plans.append(
+                    _MemPlan(False, AddressExpr(obj, offset, _WIDTH), mech)
+                )
+
+        elif mech is Mechanism.PARAM_RESOLVABLE:
+            for k in range(count):
+                obj = self._object(f"src{k}", span + 64)
+                param = PointerParam(
+                    name=f"{spec.name}.p{k}", runtime_object=obj, provenance=obj
+                )
+                offset = AffineExpr.of(ivs={self.i: stride})
+                plans.append(
+                    _MemPlan(False, AddressExpr(param, offset, _WIDTH), mech)
+                )
+
+        elif mech is Mechanism.PARAM_OPAQUE:
+            for k in range(count):
+                obj = self._object(f"opq{k}", span + 64)
+                param = PointerParam(
+                    name=f"{spec.name}.q{k}", runtime_object=obj, provenance=None
+                )
+                offset = AffineExpr.of(ivs={self.i: stride})
+                plans.append(
+                    _MemPlan(False, AddressExpr(param, offset, _WIDTH), mech)
+                )
+
+        elif mech is Mechanism.MULTIDIM:
+            # Alternating-induction-variable block accesses: pairs using
+            # different IVs have multi-variable affine differences that
+            # stage 1 refuses and stage 4 proves disjoint.
+            blk_i = spec.trip_count * stride
+            blk_j = self.j.trip_count * stride
+            blk = max(blk_i, blk_j) + 64
+            obj = self._object("grid", blk * count + 64)
+            for k in range(count):
+                iv = self.i if k % 2 == 0 else self.j
+                offset = AffineExpr.of(const=k * blk, ivs={iv: stride})
+                plans.append(
+                    _MemPlan(False, AddressExpr(obj, offset, _WIDTH), mech)
+                )
+
+        elif mech is Mechanism.INDIRECT:
+            if spec.indirect_on_shared and self._shared is not None:
+                obj = self._shared
+            else:
+                obj = self._object("table", spec.indirect_range * _WIDTH + 64)
+            for k in range(count):
+                sym = self._sym(f"{self.spec.name}.s{self.path_index}.{k}")
+                offset = AffineExpr.of(syms={sym: _WIDTH})
+                plans.append(
+                    _MemPlan(False, AddressExpr(obj, offset, _WIDTH), mech)
+                )
+
+        else:  # pragma: no cover - exhaustive over Mechanism
+            raise AssertionError(mech)
+        return plans
+
+
+def _emit_graph(
+    spec: BenchmarkSpec,
+    path_index: int,
+    plans: Sequence[_MemPlan],
+    planner: _RegionPlanner,
+) -> DFGraph:
+    """Wire the planned memory ops into a full region DFG."""
+    b = RegionBuilder(f"{spec.name}/path{path_index}")
+    rng = planner.rng
+    scale = planner.scale
+    n_ops_target = max(4, round(spec.n_ops * scale))
+
+    live_in = b.input("live_in")
+    iv_in = b.input("iv")
+
+    fp_countdown = 0.0
+
+    def compute(a, c, tag=""):
+        """Emit one filler compute op, FP per the spec's fraction."""
+        nonlocal fp_countdown
+        fp_countdown += spec.fp_frac
+        if fp_countdown >= 1.0:
+            fp_countdown -= 1.0
+            return b.fmul(a, c, name=tag) if rng.random() < 0.4 else b.fadd(a, c, name=tag)
+        return b.add(a, c, name=tag)
+
+    # ------------------------------------------------------------------
+    # Memory layers bounded by the spec's MLP.
+    # ------------------------------------------------------------------
+    mlp = max(1, spec.mlp)
+    layers: List[List[_MemPlan]] = []
+    for k in range(0, len(plans), mlp):
+        layers.append(list(plans[k : k + mlp]))
+
+    sync = live_in
+    value_src = live_in
+    emitted_mem: List[Operation] = []
+    for layer in layers:
+        gep = b.gep(iv_in, sync, name="agen")
+        loads_of_layer: List[Operation] = []
+        for plan in layer:
+            if plan.is_store:
+                op = b.store_addr(plan.addr, value=value_src, inputs=[gep])
+            else:
+                op = b.load_addr(plan.addr, inputs=[gep])
+                loads_of_layer.append(op)
+            emitted_mem.append(op)
+        # Load-use chain: a short reduction forms the next layer's
+        # address dependency (this is what bounds MLP).
+        if loads_of_layer:
+            acc = loads_of_layer[0]
+            for ld in loads_of_layer[1:]:
+                acc = compute(acc, ld)
+            prev = acc
+            for _ in range(spec.chain_length):
+                acc, prev = compute(acc, prev), acc
+            sync = acc
+            value_src = acc
+        else:
+            sync = compute(sync, gep)
+            value_src = sync
+
+    # ------------------------------------------------------------------
+    # Scratchpad (local) accesses — promoted before disambiguation.
+    # ------------------------------------------------------------------
+    n_local = round(spec.n_local * scale)
+    if n_local:
+        stack = planner._object("frame", max(4096, n_local * 64), MemorySpace.STACK)
+        for k in range(n_local):
+            offset = AffineExpr.of(const=k * _WIDTH)
+            if k % 3 == 0:
+                b.store_addr(
+                    AddressExpr(stack, offset, _WIDTH), value=value_src, inputs=[]
+                )
+            else:
+                b.load_addr(AddressExpr(stack, offset, _WIDTH), inputs=[])
+
+    # ------------------------------------------------------------------
+    # Compute filler up to the spec's op count.
+    # ------------------------------------------------------------------
+    # Filler compute is emitted as short *parallel* chains hanging off
+    # the last reduction, so it adds area/energy without stretching the
+    # critical path (one long chain would mask the memory effects the
+    # study measures).
+    graph_so_far = b.build(validate=False)
+    remaining = n_ops_target - len(graph_so_far)
+    while remaining > 0:
+        branch = min(6, remaining)
+        tail, prev = sync, live_in
+        for _ in range(branch):
+            tail, prev = compute(tail, prev), tail
+        remaining -= branch
+
+    return b.build()
+
+
+def build_workload(
+    spec: BenchmarkSpec, path_index: int = 0, seed: Optional[int] = None
+) -> Workload:
+    """Materialize one region of *spec* (``path_index`` in [0, 5))."""
+    if seed is None:
+        # crc32 keeps workloads reproducible across processes (Python's
+        # built-in str hash is salted per interpreter run).
+        seed = (zlib.crc32(spec.name.encode()) & 0xFFFF) * 31 + path_index
+    planner = _RegionPlanner(spec, path_index, seed)
+    plans = planner.plan()
+    raw = _emit_graph(spec, path_index, plans, planner)
+    promo = promote_scratchpad(raw)
+    return Workload(
+        spec=spec,
+        path_index=path_index,
+        seed=seed,
+        graph=promo.graph,
+        raw_graph=raw,
+        n_promoted=promo.n_promoted,
+        ivars=tuple(planner.ivars),
+        syms=tuple(planner.syms),
+        weight=PATH_WEIGHTS[path_index % len(PATH_WEIGHTS)],
+    )

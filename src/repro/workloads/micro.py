@@ -1,0 +1,223 @@
+"""Microbenchmarks: classic memory idioms as first-class workloads.
+
+Small, hand-built kernels exercising one memory behaviour each — the
+unit vectors of the disambiguation space.  Useful for tests, examples,
+and quick what-does-this-system-do-to-X experiments:
+
+=================  ========================================================
+``stream_triad``   a[i] = b[i] + s*c[i]; disjoint arrays, pure NO labels
+``stencil3``       b[i] = a[i-1]+a[i]+a[i+1]; same-array NO via SCEV
+``reduction``      sum += a[i] over a tree; loads only
+``pointer_chase``  p = *p chain; serial loads, the MLP=1 extreme
+``gather``         y[i] = a[idx[i]]; indirect loads (MAY, rarely conflict)
+``scatter``        a[idx[i]] = x[i]; indirect stores (MAY, can conflict)
+``rmw``            a[idx[i]] += x[i]; the histogram update
+``transpose``      blocked copy with alternating induction variables
+                   (stage-4 territory)
+=================  ========================================================
+
+Each factory returns a :class:`~repro.workloads.generator.Workload`, so
+everything downstream (compare_systems, profiling, the oracle) just
+works.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ir.address import AffineExpr, IVar, MemObject, Sym
+from repro.ir.builder import RegionBuilder
+from repro.workloads.generator import Workload
+from repro.workloads.spec import BenchmarkSpec, Mechanism
+
+_WIDTH = 8
+UNROLL = 4
+
+
+def _spec(name: str, graph_len: int, n_mem: int, mlp: int, **kw) -> BenchmarkSpec:
+    defaults = dict(
+        name=f"micro.{name}",
+        suite="micro",
+        n_ops=max(graph_len, n_mem, 1),
+        n_mem=n_mem,
+        mlp=max(1, mlp),
+        mechanism_mix={Mechanism.DISTINCT: 1.0},
+    )
+    defaults.update(kw)
+    return BenchmarkSpec(**defaults)
+
+
+def _wrap(name: str, builder, ivars, syms, mlp: int, **spec_kw) -> Workload:
+    graph = builder.build()
+    n_mem = len(graph.memory_ops)
+    return Workload(
+        spec=_spec(name, len(graph), n_mem, mlp, **spec_kw),
+        path_index=0,
+        seed=0xA11CE,
+        graph=graph,
+        raw_graph=graph,
+        n_promoted=0,
+        ivars=tuple(ivars),
+        syms=tuple(syms),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kernels
+# ---------------------------------------------------------------------------
+
+
+def stream_triad() -> Workload:
+    i = IVar("i", 2048)
+    a = MemObject("triad.a", 1 << 16, base_addr=0x100000)
+    bb = MemObject("triad.b", 1 << 16, base_addr=0x120000)
+    c = MemObject("triad.c", 1 << 16, base_addr=0x140000)
+    b = RegionBuilder("micro.stream_triad")
+    s = b.input("s")
+    for k in range(UNROLL):
+        off = AffineExpr.of(const=k * _WIDTH, ivs={i: _WIDTH * UNROLL})
+        ldb = b.load(bb, off)
+        ldc = b.load(c, off)
+        prod = b.fmul(ldc, s)
+        acc = b.fadd(ldb, prod)
+        b.store(a, off, value=acc)
+    return _wrap("stream_triad", b, [i], [], mlp=2 * UNROLL, fp_frac=1.0, stride=32)
+
+
+def stencil3() -> Workload:
+    i = IVar("i", 2048)
+    a = MemObject("stencil.a", 1 << 16, base_addr=0x200000)
+    out = MemObject("stencil.b", 1 << 16, base_addr=0x220000)
+    b = RegionBuilder("micro.stencil3")
+    base = AffineExpr.of(const=_WIDTH, ivs={i: _WIDTH})
+    ld_m = b.load(a, base - AffineExpr.constant(_WIDTH))
+    ld_0 = b.load(a, base)
+    ld_p = b.load(a, base + AffineExpr.constant(_WIDTH))
+    s1 = b.fadd(ld_m, ld_0)
+    s2 = b.fadd(s1, ld_p)
+    b.store(out, base, value=s2)
+    return _wrap("stencil3", b, [i], [], mlp=3, fp_frac=0.6)
+
+
+def reduction() -> Workload:
+    i = IVar("i", 2048)
+    a = MemObject("red.a", 1 << 16, base_addr=0x300000)
+    b = RegionBuilder("micro.reduction")
+    loads = [
+        b.load(a, AffineExpr.of(const=k * _WIDTH, ivs={i: _WIDTH * 8}))
+        for k in range(8)
+    ]
+    level = loads
+    while len(level) > 1:
+        level = [
+            b.fadd(level[k], level[k + 1]) for k in range(0, len(level) - 1, 2)
+        ] + ([level[-1]] if len(level) % 2 else [])
+    return _wrap("reduction", b, [i], [], mlp=8, fp_frac=0.8)
+
+
+def pointer_chase(depth: int = 6) -> Workload:
+    """Each hop's address is data-dependent on the previous load."""
+    node = MemObject("chase.pool", 1 << 16, base_addr=0x400000)
+    syms = [Sym(f"chase.n{k}") for k in range(depth)]
+    b = RegionBuilder("micro.pointer_chase")
+    prev = b.input("head")
+    for k, sym in enumerate(syms):
+        gep = b.gep(prev)
+        prev = b.load(node, AffineExpr.of(syms={sym: _WIDTH}), inputs=[gep])
+    return _wrap(
+        "pointer_chase", b, [], syms, mlp=1, indirect_range=4096,
+        mechanism_mix={Mechanism.INDIRECT: 1.0}, store_frac=0.0,
+    )
+
+
+def gather(width: int = 8) -> Workload:
+    i = IVar("i", 2048)
+    table = MemObject("gather.t", 1 << 16, base_addr=0x500000)
+    out = MemObject("gather.y", 1 << 16, base_addr=0x520000)
+    syms = [Sym(f"gather.i{k}") for k in range(width)]
+    b = RegionBuilder("micro.gather")
+    x = b.input("x")
+    for k, sym in enumerate(syms):
+        gep = b.gep(x)
+        ld = b.load(table, AffineExpr.of(syms={sym: _WIDTH}), inputs=[gep])
+        b.store(out, AffineExpr.of(const=k * _WIDTH, ivs={i: _WIDTH * width}),
+                value=ld)
+    return _wrap(
+        "gather", b, [i], syms, mlp=width, indirect_range=2048,
+        mechanism_mix={Mechanism.INDIRECT: 1.0},
+    )
+
+
+def scatter(width: int = 8) -> Workload:
+    i = IVar("i", 2048)
+    src = MemObject("scatter.x", 1 << 16, base_addr=0x600000)
+    table = MemObject("scatter.t", 1 << 16, base_addr=0x620000)
+    syms = [Sym(f"scatter.i{k}") for k in range(width)]
+    b = RegionBuilder("micro.scatter")
+    for k, sym in enumerate(syms):
+        ld = b.load(src, AffineExpr.of(const=k * _WIDTH, ivs={i: _WIDTH * width}))
+        b.store(table, AffineExpr.of(syms={sym: _WIDTH}), value=ld)
+    return _wrap(
+        "scatter", b, [i], syms, mlp=width, indirect_range=64,
+        mechanism_mix={Mechanism.INDIRECT: 1.0}, store_frac=0.5,
+    )
+
+
+def rmw(width: int = 4) -> Workload:
+    table = MemObject("rmw.t", 1 << 16, base_addr=0x700000)
+    syms = [Sym(f"rmw.i{k}") for k in range(width)]
+    b = RegionBuilder("micro.rmw")
+    x = b.input("x")
+    for sym in syms:
+        off = AffineExpr.of(syms={sym: _WIDTH})
+        ld = b.load(table, off)
+        acc = b.add(ld, x)
+        b.store(table, off, value=acc)
+    return _wrap(
+        "rmw", b, [], syms, mlp=width, indirect_range=32,
+        mechanism_mix={Mechanism.INDIRECT: 1.0}, store_frac=0.5,
+    )
+
+
+def transpose(blocks: int = 4) -> Workload:
+    """Alternating-IV block accesses (the stage-4 pattern)."""
+    i = IVar("i", 256)
+    j = IVar("j", 256)
+    grid = MemObject("tr.grid", 1 << 20, base_addr=0x800000)
+    blk = 256 * _WIDTH + 64
+    b = RegionBuilder("micro.transpose")
+    prev = b.input("x")
+    for k in range(blocks):
+        iv = i if k % 2 == 0 else j
+        off = AffineExpr.of(const=k * blk, ivs={iv: _WIDTH})
+        if k % 2 == 0:
+            prev = b.load(grid, off)
+        else:
+            b.store(grid, off, value=prev)
+    return _wrap("transpose", b, [i, j], [], mlp=blocks,
+                 mechanism_mix={Mechanism.MULTIDIM: 1.0})
+
+
+MICROS: Dict[str, Callable[[], Workload]] = {
+    "stream_triad": stream_triad,
+    "stencil3": stencil3,
+    "reduction": reduction,
+    "pointer_chase": pointer_chase,
+    "gather": gather,
+    "scatter": scatter,
+    "rmw": rmw,
+    "transpose": transpose,
+}
+
+
+def build_micro(name: str) -> Workload:
+    try:
+        return MICROS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown microbenchmark {name!r}; known: {', '.join(MICROS)}"
+        ) from None
+
+
+def micro_names() -> List[str]:
+    return list(MICROS)

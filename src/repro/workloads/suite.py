@@ -1,0 +1,302 @@
+"""The 27 benchmarks of the study (Table II + per-benchmark narrative).
+
+Every spec transcribes its Table II row (ops, memory ops, MLP, dependence
+counts, scratchpad %) and encodes the paper's qualitative story through
+the mechanism mix:
+
+* stage-1-perfect workloads (gzip, mcf x2, crafty, sjeng, and the
+  memory-free blackscholes/ferret) use only named arrays,
+* stage-2 workloads (parser, gcc, h264ref, fluidanimate, sar-*,
+  freqmine) lean on provenance-resolvable pointer parameters,
+* stage-4 workloads (equake, lbm, namd, bodytrack, dwt53) lean on
+  multidimensional subscripts,
+* the NACHOS-SW slowdown group (art, bzip2, soplex, povray, fft-2d,
+  histogram, sar-*, freqmine) keeps opaque pointers or data-dependent
+  indices that no static stage can resolve,
+* the NACHOS fan-in group (bzip2, sar-pfa-interp1) concentrates MAY
+  parents on data-dependent store bursts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List
+
+from repro.ir.address import AddressExpr, AffineExpr, MemObject, MemorySpace, PointerParam
+from repro.programs.model import Function, HotPath, Program
+from repro.workloads.generator import PATH_WEIGHTS, Workload, build_workload
+from repro.workloads.spec import BenchmarkSpec, Mechanism
+
+M = Mechanism
+
+
+def _mix(**weights: float) -> Dict[Mechanism, float]:
+    return {Mechanism(k): v for k, v in weights.items()}
+
+
+SUITE: List[BenchmarkSpec] = [
+    # ----------------------------- SPEC2000 -----------------------------
+    BenchmarkSpec(
+        name="gzip", suite="spec2000", n_ops=64, n_mem=4, mlp=4,
+        pct_local=21, store_frac=0.0,
+        mechanism_mix=_mix(distinct=1.0),
+        notes="stage-1 perfect; loads only",
+    ),
+    BenchmarkSpec(
+        name="art", suite="spec2000", n_ops=100, n_mem=36, mlp=4,
+        dep_st_st=6, dep_st_ld=6, dep_ld_st=10, pct_local=0,
+        store_frac=0.30, fp_frac=0.35,
+        mechanism_mix=_mix(param_opaque=0.5, distinct=0.3, strided=0.2),
+        notes="MAY-heavy; NACHOS-SW slowdown group",
+        stride=64,
+    ),
+    BenchmarkSpec(
+        name="181.mcf", suite="spec2000", n_ops=29, n_mem=2, mlp=2,
+        pct_local=5, store_frac=0.0,
+        mechanism_mix=_mix(distinct=1.0),
+        notes="stage-1 perfect; loads only",
+    ),
+    BenchmarkSpec(
+        name="equake", suite="spec2000", n_ops=559, n_mem=215, mlp=16,
+        dep_ld_st=12, pct_local=2, store_frac=0.25, fp_frac=0.5,
+        mechanism_mix=_mix(multidim=0.8, strided=0.2),
+        notes="stage-4 (polyhedral); memory dominated; speedup vs LSQ",
+    ),
+    BenchmarkSpec(
+        name="crafty", suite="spec2000", n_ops=72, n_mem=7, mlp=8,
+        pct_local=40, store_frac=0.0,
+        mechanism_mix=_mix(distinct=0.6, strided=0.4),
+        notes="stage-1 perfect; loads only",
+    ),
+    BenchmarkSpec(
+        name="parser", suite="spec2000", n_ops=81, n_mem=12, mlp=4,
+        dep_ld_st=2, pct_local=34, store_frac=0.25,
+        mechanism_mix=_mix(param_resolvable=0.5, param_opaque=0.3, distinct=0.2),
+        notes="stage-2 converts 29% of MAY (global Table_connector)",
+    ),
+    # ----------------------------- SPEC2006 -----------------------------
+    BenchmarkSpec(
+        name="bzip2", suite="spec2006", n_ops=501, n_mem=110, mlp=128,
+        dep_st_st=3, dep_ld_st=3, pct_local=27, store_frac=0.45,
+        mechanism_mix=_mix(strided=0.86, indirect=0.1, distinct=0.04),
+        indirect_range=4096, indirect_on_shared=True, chain_length=1,
+        notes="high MAY fan-in (3 ops with ~50 parents); NACHOS ~8% slow",
+        stride=64,
+    ),
+    BenchmarkSpec(
+        name="gcc", suite="spec2006", n_ops=47, n_mem=2, mlp=2,
+        dep_st_st=3, dep_st_ld=4, pct_local=26, store_frac=0.5,
+        mechanism_mix=_mix(param_resolvable=1.0),
+        notes="stage-2 effective",
+    ),
+    BenchmarkSpec(
+        name="429.mcf", suite="spec2006", n_ops=30, n_mem=3, mlp=4,
+        pct_local=24, store_frac=0.0,
+        mechanism_mix=_mix(distinct=1.0),
+        notes="stage-1 perfect",
+    ),
+    BenchmarkSpec(
+        name="namd", suite="spec2006", n_ops=527, n_mem=100, mlp=16,
+        dep_st_st=6, dep_st_ld=6, dep_ld_st=30, pct_local=41,
+        store_frac=0.30, fp_frac=0.6,
+        mechanism_mix=_mix(multidim=0.85, distinct=0.15),
+        notes="stage-4; speedup vs LSQ",
+    ),
+    BenchmarkSpec(
+        name="soplex", suite="spec2006", n_ops=140, n_mem=32, mlp=4,
+        dep_ld_st=8, pct_local=19, store_frac=0.25, fp_frac=0.3,
+        mechanism_mix=_mix(param_opaque=0.6, distinct=0.4),
+        notes="MAY-heavy; NACHOS-SW slowdown group; 85x scope blowup",
+        stride=64,
+    ),
+    BenchmarkSpec(
+        name="povray", suite="spec2006", n_ops=223, n_mem=74, mlp=32,
+        dep_st_st=4, dep_st_ld=21, dep_ld_st=24, pct_local=95,
+        store_frac=0.30, fp_frac=0.42, chain_length=3,
+        mechanism_mix=_mix(param_opaque=0.5, indirect=0.2, strided=0.3),
+        indirect_range=2048,
+        notes="42% FP critical path serialized by ~30 MAYs; 100x scope blowup",
+        stride=64,
+    ),
+    BenchmarkSpec(
+        name="sjeng", suite="spec2006", n_ops=99, n_mem=11, mlp=8,
+        pct_local=33, store_frac=0.10,
+        mechanism_mix=_mix(strided=0.8, distinct=0.2),
+        notes="stage-1 perfect despite a store (54.5% energy saving)",
+    ),
+    BenchmarkSpec(
+        name="464.h264ref", suite="spec2006", n_ops=224, n_mem=42, mlp=8,
+        dep_ld_st=5, pct_local=27, store_frac=0.25,
+        mechanism_mix=_mix(param_resolvable=0.65, strided=0.3, param_opaque=0.05),
+        notes="stage-2; cache hits; LSQ load-to-use penalty => speedup",
+    ),
+    BenchmarkSpec(
+        name="lbm", suite="spec2006", n_ops=147, n_mem=57, mlp=32,
+        pct_local=12, store_frac=0.40, fp_frac=0.5, stride=64,
+        mechanism_mix=_mix(multidim=0.9, distinct=0.1),
+        notes="stage-4; without it 400% slowdown (7.5x critical path)",
+    ),
+    BenchmarkSpec(
+        name="sphinx3", suite="spec2006", n_ops=133, n_mem=20, mlp=32,
+        pct_local=0, store_frac=0.10, fp_frac=0.3,
+        mechanism_mix=_mix(distinct=0.7, strided=0.3),
+        notes="stage-1 mostly; perfect bloom behaviour",
+    ),
+    # ------------------------------ PARSEC ------------------------------
+    BenchmarkSpec(
+        name="blackscholes", suite="parsec", n_ops=297, n_mem=0, mlp=1,
+        pct_local=4, store_frac=0.0, fp_frac=0.7,
+        mechanism_mix=_mix(distinct=1.0),
+        notes="compute only; no disambiguation needed",
+    ),
+    BenchmarkSpec(
+        name="bodytrack", suite="parsec", n_ops=285, n_mem=42, mlp=4,
+        dep_st_st=30, dep_st_ld=30, dep_ld_st=42, pct_local=10,
+        store_frac=0.45, fp_frac=0.4,
+        mechanism_mix=_mix(multidim=0.7, strided=0.3),
+        notes="stage-4; forwarding heavy (LSQ forward energy, NACHOS ST->LD)",
+    ),
+    BenchmarkSpec(
+        name="dwt53", suite="parsec", n_ops=106, n_mem=16, mlp=16,
+        pct_local=11, store_frac=0.30, fp_frac=0.3,
+        mechanism_mix=_mix(multidim=0.8, strided=0.2),
+        notes="stage-4 (dwt.c:179 multidim stencil)",
+    ),
+    BenchmarkSpec(
+        name="ferret", suite="parsec", n_ops=185, n_mem=0, mlp=1,
+        pct_local=29, store_frac=0.0, fp_frac=0.3,
+        mechanism_mix=_mix(distinct=1.0),
+        notes="no memory operations in the hottest region",
+    ),
+    BenchmarkSpec(
+        name="fft-2d", suite="parsec", n_ops=314, n_mem=80, mlp=4,
+        dep_st_st=48, pct_local=18, store_frac=0.45, fp_frac=0.5,
+        mechanism_mix=_mix(indirect=0.3, param_opaque=0.3, strided=0.4),
+        indirect_range=1024,
+        notes="84% of relations redundant (stage 3); bloom hits 20%+",
+        stride=64,
+    ),
+    BenchmarkSpec(
+        name="fluidanimate", suite="parsec", n_ops=229, n_mem=28, mlp=8,
+        pct_local=14, store_frac=0.20, fp_frac=0.4,
+        mechanism_mix=_mix(param_resolvable=0.9, distinct=0.1),
+        notes="stage-2 resolves all (serial.cpp:40 globals); no MDEs",
+    ),
+    BenchmarkSpec(
+        name="freqmine", suite="parsec", n_ops=109, n_mem=32, mlp=4,
+        dep_st_ld=8, pct_local=17, store_frac=0.35,
+        mechanism_mix=_mix(param_resolvable=0.4, indirect=0.3, strided=0.3),
+        indirect_range=512,
+        notes="NACHOS-SW slowdown group; NACHOS recovers",
+        stride=64,
+    ),
+    BenchmarkSpec(
+        name="sar-backprojection", suite="parsec", n_ops=151, n_mem=7, mlp=8,
+        pct_local=64, store_frac=0.25, fp_frac=0.4,
+        mechanism_mix=_mix(param_resolvable=0.7, param_opaque=0.3),
+        notes="stage-2 effective (20-80% MAY->NO)",
+    ),
+    BenchmarkSpec(
+        name="sar-pfa-interp1", suite="parsec", n_ops=500, n_mem=32, mlp=16,
+        dep_st_st=12, dep_st_ld=20, dep_ld_st=12, pct_local=19,
+        store_frac=0.40, fp_frac=0.4,
+        mechanism_mix=_mix(indirect=0.45, strided=0.35, param_resolvable=0.2),
+        indirect_range=512, indirect_on_shared=True, chain_length=1,
+        notes="43% of mem ops with >2 MAY parents; NACHOS ~8% slow",
+        stride=64,
+    ),
+    BenchmarkSpec(
+        name="streamcluster", suite="parsec", n_ops=210, n_mem=32, mlp=16,
+        dep_st_st=3, pct_local=1, store_frac=0.15, fp_frac=0.5, stride=64,
+        mechanism_mix=_mix(distinct=0.6, strided=0.4),
+        notes="streaming; perfect bloom behaviour",
+    ),
+    BenchmarkSpec(
+        name="histogram", suite="parsec", n_ops=522, n_mem=48, mlp=16,
+        pct_local=0, store_frac=0.50,
+        mechanism_mix=_mix(indirect=0.7, strided=0.3),
+        indirect_range=64, chain_length=1,
+        notes="data-dependent buckets; real runtime conflicts; stage-3 heavy",
+    ),
+]
+
+_BY_NAME = {spec.name: spec for spec in SUITE}
+
+#: Benchmarks whose parent functions add huge MAY counts when the
+#: analysis scope widens (Section IV-A): name -> opaque parent accesses.
+SCOPE_BLOWUP = {
+    "bzip2": 96,
+    "povray": 80,
+    "soplex": 56,
+    "parser": 8,
+    "art": 8,
+    "freqmine": 8,
+    "fft-2d": 10,
+    "histogram": 8,
+    "sar-pfa-interp1": 6,
+    "464.h264ref": 4,
+    "gcc": 4,
+}
+
+
+def benchmark_names() -> List[str]:
+    return [spec.name for spec in SUITE]
+
+
+def get_spec(name: str) -> BenchmarkSpec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(_BY_NAME)}"
+        ) from None
+
+
+def _parent_accesses(spec: BenchmarkSpec) -> List[AddressExpr]:
+    """Caller-side accesses used by the scope-widening study."""
+    out: List[AddressExpr] = []
+    n_opaque = SCOPE_BLOWUP.get(spec.name, 0)
+    base = 0x40000000 + (zlib.crc32(spec.name.encode()) & 0xFFFF) * 0x1000
+    for k in range(n_opaque):
+        obj = MemObject(
+            f"{spec.name}.caller{k}", 4096, MemorySpace.HEAP, base_addr=base + k * 8192
+        )
+        param = PointerParam(
+            f"{spec.name}.cp{k}", runtime_object=obj, provenance=None
+        )
+        out.append(AddressExpr(param, AffineExpr.constant(0), 8))
+    # A couple of well-known named globals that never add MAY relations.
+    for k in range(2):
+        obj = MemObject(
+            f"{spec.name}.g{k}", 4096, MemorySpace.GLOBAL,
+            base_addr=base + 0x100000 + k * 8192,
+        )
+        out.append(AddressExpr(obj, AffineExpr.constant(0), 8))
+    return out
+
+
+def build_program(spec: BenchmarkSpec, top_k: int = 5) -> Program:
+    """Wrap *spec* as a program with *top_k* hot paths for extraction."""
+
+    def factory(k: int):
+        return lambda: build_workload(spec, path_index=k).raw_graph
+
+    paths = [
+        HotPath(name=f"path{k}", weight=PATH_WEIGHTS[k], build=factory(k))
+        for k in range(top_k)
+    ]
+    fn = Function(
+        name=f"{spec.name}.kernel",
+        paths=paths,
+        parent_accesses=_parent_accesses(spec),
+    )
+    return Program(name=spec.name, functions=[fn])
+
+
+def build_suite_workloads(top_k: int = 1) -> List[Workload]:
+    """Materialize the hottest *top_k* regions of every benchmark."""
+    out: List[Workload] = []
+    for spec in SUITE:
+        for k in range(top_k):
+            out.append(build_workload(spec, path_index=k))
+    return out

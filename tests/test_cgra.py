@@ -1,0 +1,83 @@
+"""Unit tests for the CGRA grid model and placement."""
+
+import pytest
+
+from repro.cgra import CGRAConfig, Placement, place_region
+from repro.ir import AffineExpr, IVar, MemObject, RegionBuilder
+from tests.conftest import build_simple_region
+
+
+class TestConfig:
+    def test_paper_default(self):
+        cfg = CGRAConfig.paper_default()
+        assert cfg.rows == 32 and cfg.cols == 32
+        assert cfg.capacity == 1024
+
+
+class TestPlacement:
+    def test_all_ops_placed_uniquely(self, simple_region):
+        p = place_region(simple_region)
+        cells = list(p.cells.values())
+        assert len(cells) == len(simple_region)
+        assert len(set(cells)) == len(cells)
+
+    def test_cells_within_grid(self, simple_region):
+        cfg = CGRAConfig(rows=8, cols=8)
+        p = place_region(simple_region, cfg)
+        for r, c in p.cells.values():
+            assert 0 <= r < 8 and 0 <= c < 8
+
+    def test_capacity_enforced(self):
+        b = RegionBuilder()
+        x = b.input("x")
+        prev = x
+        for _ in range(20):
+            prev = b.add(prev, x)
+        g = b.build()
+        with pytest.raises(ValueError):
+            place_region(g, CGRAConfig(rows=4, cols=4))
+
+    def test_hops_symmetric_and_zero_on_self(self, simple_region):
+        p = place_region(simple_region)
+        ids = [op.op_id for op in simple_region.ops]
+        assert p.hops(ids[0], ids[0]) == 0
+        assert p.hops(ids[0], ids[1]) == p.hops(ids[1], ids[0])
+
+    def test_route_latency_scales_with_hop_latency(self, simple_region):
+        p1 = place_region(simple_region, CGRAConfig(hop_latency=1))
+        p2 = Placement(CGRAConfig(hop_latency=3), cells=dict(p1.cells))
+        ids = [op.op_id for op in simple_region.ops]
+        assert p2.route_latency(ids[0], ids[1]) == 3 * p1.hops(ids[0], ids[1])
+
+    def test_edge_hops_is_row_distance(self, simple_region):
+        p = place_region(simple_region)
+        for op in simple_region.memory_ops:
+            r, _ = p.cell_of(op.op_id)
+            assert p.edge_hops(op.op_id) == r
+
+    def test_deterministic(self, simple_region):
+        p1 = place_region(build_simple_region())
+        p2 = place_region(build_simple_region())
+        assert p1.cells == p2.cells
+
+    def test_consumers_placed_near_producers(self):
+        """Average data-edge length should be small on a chain."""
+        b = RegionBuilder()
+        x = b.input("x")
+        prev = x
+        for _ in range(30):
+            prev = b.add(prev, x)
+        g = b.build()
+        p = place_region(g)
+        dists = [
+            p.hops(op.inputs[0], op.op_id) for op in g.ops if op.inputs
+        ]
+        assert sum(dists) / len(dists) < 4.0
+
+    def test_large_region_fits_default_grid(self):
+        from repro.workloads import SUITE, build_workload
+
+        spec = max(SUITE, key=lambda s: s.n_ops)
+        w = build_workload(spec)
+        p = place_region(w.graph)
+        assert p.used_cells == len(w.graph)

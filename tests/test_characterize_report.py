@@ -1,0 +1,121 @@
+"""Tests for workload characterization and the compilation report."""
+
+import pytest
+
+from repro.compiler import compile_region
+from repro.compiler.report import explain, stage_census
+from repro.workloads import build_workload, get_spec
+from repro.workloads.characterize import measured_mlp, profile_workload
+from tests.conftest import build_may_region, build_simple_region
+
+
+class TestMeasuredMLP:
+    def test_empty_region(self):
+        from repro.ir import RegionBuilder
+
+        g = RegionBuilder().build(validate=False)
+        assert measured_mlp(g) == 0
+
+    def test_independent_loads_all_parallel(self):
+        from repro.ir import AffineExpr, MemObject, RegionBuilder
+
+        b = RegionBuilder()
+        for k in range(6):
+            obj = MemObject(f"o{k}", 4096, base_addr=0x1000 * (k + 1))
+            b.load(obj, AffineExpr.constant(0))
+        g = b.build()
+        assert measured_mlp(g) == 6
+
+    def test_chained_loads_serialize(self):
+        from repro.ir import AffineExpr, MemObject, RegionBuilder
+
+        obj = MemObject("o", 4096, base_addr=0x1000)
+        b = RegionBuilder()
+        ld = b.load(obj, AffineExpr.constant(0))
+        for k in range(3):
+            gep = b.gep(ld)
+            ld = b.load(obj, AffineExpr.constant(8 * (k + 1)), inputs=[gep])
+        g = b.build()
+        assert measured_mlp(g) == 1
+
+    def test_order_mdes_reduce_mlp(self):
+        from repro.ir import (
+            AffineExpr,
+            MDEKind,
+            MemObject,
+            MemoryDependencyEdge,
+            RegionBuilder,
+        )
+
+        obj = MemObject("o", 4096, base_addr=0x1000)
+        b = RegionBuilder()
+        x = b.input("x")
+        s1 = b.store(obj, AffineExpr.constant(0), value=x)
+        s2 = b.store(obj, AffineExpr.constant(0), value=x)
+        g = b.build()
+        assert measured_mlp(g) == 2
+        g.add_mde(MemoryDependencyEdge(s1.op_id, s2.op_id, MDEKind.ORDER))
+        assert measured_mlp(g) == 1
+
+    def test_suite_mlp_tracks_spec(self):
+        for name in ("gzip", "equake", "histogram"):
+            spec = get_spec(name)
+            w = build_workload(spec)
+            mlp = measured_mlp(w.graph)
+            assert mlp <= max(spec.mlp, 2) * 2, name
+            assert mlp >= 1, name
+
+
+class TestProfileWorkload:
+    def test_footprint_scales_with_stride(self):
+        p8 = profile_workload(build_workload(get_spec("464.h264ref")), 16)
+        p64 = profile_workload(build_workload(get_spec("soplex")), 16)
+        # Streaming (stride 64) touches a line per op per invocation.
+        assert p64.footprint_lines > p64.n_mem
+        assert p8.footprint_bytes > 0
+
+    def test_conflicts_only_where_expected(self):
+        clean = profile_workload(build_workload(get_spec("gzip")), 16)
+        assert clean.conflict_pairs == 0
+        dirty = profile_workload(build_workload(get_spec("histogram")), 16)
+        assert dirty.conflict_pairs > 0
+        assert 0.0 < dirty.conflict_density < 1.0
+
+    def test_reuse_histogram_populated(self):
+        p = profile_workload(build_workload(get_spec("parser")), 16)
+        assert sum(p.reuse_histogram.values()) > 0
+
+    def test_zero_mem_workload(self):
+        p = profile_workload(build_workload(get_spec("blackscholes")), 4)
+        assert p.n_mem == 0
+        assert p.footprint_bytes == 0
+        assert p.conflict_density == 0.0
+
+
+class TestCompilationReport:
+    def test_census_rows(self):
+        g = build_may_region()
+        result = compile_region(g)
+        rows = stage_census(result)
+        assert len(rows) == 3  # stages 1, 2, 4 under the full config
+        for row in rows:
+            assert sum(row[1:]) == result.total_pairs
+
+    def test_explain_mentions_mdes(self):
+        g = build_may_region()
+        result = compile_region(g)
+        out = explain(result)
+        assert "MAY" in out
+        assert "Memory dependency edges" in out
+
+    def test_explain_clean_region(self):
+        g = build_simple_region()
+        result = compile_region(g)
+        out = explain(result)
+        assert "No MDEs required" in out
+
+    def test_explain_reports_fan_in(self):
+        w = build_workload(get_spec("bzip2"))
+        result = compile_region(w.graph)
+        out = explain(result)
+        assert "fan-in hotspots" in out

@@ -1,0 +1,85 @@
+"""Chart adapters for the simulation figures, tested on fabricated data."""
+
+import pytest
+
+from repro.experiments.charts import chart_for
+from repro.experiments.fig11 import PerfResult, PerfRow
+from repro.experiments.fig15 import Fig15Result, Fig15Row
+from repro.experiments.fig17 import Fig17Result, Fig17Row
+from repro.experiments.fig18 import Fig18Result, Fig18Row
+
+
+def _perf_result():
+    rows = [
+        PerfRow("a", +25.0, 1000, 1250, True),
+        PerfRow("b", -10.0, 1000, 900, True),
+    ]
+    return PerfResult(system="nachos-sw", rows=rows)
+
+
+class TestSimulationFigureCharts:
+    def test_fig11_chart(self):
+        chart = chart_for("fig11", _perf_result())
+        svg = chart.to_svg()
+        assert "Figure 11" in svg
+        assert svg.count("<rect") >= 3
+
+    def test_fig12_chart_uses_same_adapter(self):
+        chart = chart_for("fig12", _perf_result())
+        assert "Figure 12" in chart.to_svg()
+
+    def test_fig15_chart_two_series(self):
+        result = Fig15Result(
+            rows=[
+                Fig15Row("a", -2.0, +30.0, 1000, 50, 1, True),
+                Fig15Row("b", +1.0, +1.0, 1000, 0, 0, True),
+            ]
+        )
+        chart = chart_for("fig15", result)
+        assert len(chart.series) == 2
+        assert "NACHOS-SW" in chart.to_svg()
+
+    def test_fig17_chart_stacked(self):
+        result = Fig17Result(
+            rows=[Fig17Row("a", 70.0, 5.0, 25.0, 20.0, +10.0)]
+        )
+        chart = chart_for("fig17", result)
+        assert chart.stacked
+        assert len(chart.series) == 3
+
+    def test_fig18_chart_four_categories(self):
+        result = Fig18Result(
+            rows=[Fig18Row("a", 60.0, 10.0, 5.0, 25.0, 12.0, 20.0)]
+        )
+        chart = chart_for("fig18", result)
+        assert len(chart.series) == 4
+        assert "LSQ-CAM" in chart.to_svg()
+
+    def test_perf_result_helpers(self):
+        result = _perf_result()
+        assert result.slowdown_group == ["a"]
+        assert result.speedup_group == ["b"]
+        assert result.within_pct == 0
+        assert result.all_correct
+
+
+class TestMultiFunctionPrograms:
+    def test_extraction_spans_functions(self):
+        from repro.programs import Function, HotPath, Program, extract_regions
+        from tests.conftest import build_simple_region
+
+        def factory():
+            return build_simple_region()
+
+        program = Program(
+            name="two-fn",
+            functions=[
+                Function("f", paths=[HotPath("p", 0.6, factory)]),
+                Function("g", paths=[HotPath("q", 0.3, factory)]),
+            ],
+        )
+        regions = extract_regions(program, top_k=1)
+        assert len(regions) == 2
+        assert {r.function for r in regions} == {"f", "g"}
+        assert regions[0].weight >= regions[1].weight
+        assert len(program.all_paths) == 2

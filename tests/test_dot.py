@@ -1,0 +1,50 @@
+"""Tests for DOT export."""
+
+import pytest
+
+from repro.compiler import compile_region
+from repro.ir.dot import dump_dot, graph_to_dot
+from tests.conftest import build_may_region, build_simple_region
+
+
+class TestDotExport:
+    def test_valid_structure(self):
+        g = build_simple_region()
+        dot = graph_to_dot(g)
+        assert dot.startswith('digraph "simple" {')
+        assert dot.rstrip().endswith("}")
+        # one node per op, one edge per input
+        assert dot.count("[label=") >= len(g)
+        n_edges = sum(len(op.inputs) for op in g.ops)
+        assert dot.count(" -> ") == n_edges
+
+    def test_memory_ops_styled(self):
+        g = build_simple_region()
+        dot = graph_to_dot(g)
+        assert dot.count('label="LD') == 2
+        assert dot.count('label="ST') == 1
+
+    def test_mde_styles(self):
+        g = build_may_region()
+        compile_region(g)
+        dot = graph_to_dot(g)
+        if any(e.kind.value == "may" for e in g.mdes):
+            assert "style=dotted" in dot
+
+    def test_memory_only_skeleton(self):
+        g = build_simple_region()
+        compile_region(g)
+        dot = graph_to_dot(g, include_compute=False)
+        # only memory nodes, only MDE edges
+        assert dot.count("[label=") == len(g.memory_ops)
+        assert dot.count(" -> ") == len(g.mdes)
+
+    def test_dump_to_file(self, tmp_path):
+        g = build_simple_region()
+        path = tmp_path / "r.dot"
+        dump_dot(g, str(path))
+        assert path.read_text().startswith("digraph")
+
+    def test_rankdir(self):
+        g = build_simple_region()
+        assert "rankdir=LR" in graph_to_dot(g, rankdir="LR")

@@ -1,0 +1,112 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.energy import (
+    DecentralizedCheckModel,
+    EnergyConfig,
+    EnergyEvent,
+    EnergyLedger,
+)
+from repro.energy.accounting import COMPUTE, L1, LSQ_BLOOM, LSQ_CAM, MDE
+
+
+class TestConfig:
+    def test_paper_values(self):
+        cfg = EnergyConfig.paper_default()
+        assert cfg.cost_of(EnergyEvent.ALU_INT) == 500.0
+        assert cfg.cost_of(EnergyEvent.ALU_FP) == 1500.0
+        assert cfg.cost_of(EnergyEvent.NET_LINK) == 600.0
+        assert cfg.cost_of(EnergyEvent.MDE_MAY_CHECK) == 500.0
+        assert cfg.cost_of(EnergyEvent.MDE_MUST) == 250.0
+        assert cfg.cost_of(EnergyEvent.LSQ_CAM_LOAD) == 2500.0
+        assert cfg.cost_of(EnergyEvent.LSQ_CAM_STORE) == 3500.0
+
+    def test_every_event_priced(self):
+        cfg = EnergyConfig.paper_default()
+        for event in EnergyEvent:
+            assert cfg.cost_of(event) >= 0
+
+
+class TestLedger:
+    def test_charging_accumulates(self):
+        ledger = EnergyLedger()
+        ledger.charge(EnergyEvent.ALU_INT, 3)
+        ledger.charge(EnergyEvent.ALU_INT)
+        assert ledger.counts[EnergyEvent.ALU_INT] == 4
+        assert ledger.energy_of(EnergyEvent.ALU_INT) == 4 * 500.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyLedger().charge(EnergyEvent.ALU_INT, -1)
+
+    def test_total_is_sum(self):
+        ledger = EnergyLedger()
+        ledger.charge(EnergyEvent.ALU_FP, 2)
+        ledger.charge(EnergyEvent.L1_READ, 1)
+        assert ledger.total == 2 * 1500.0 + 5000.0
+
+    def test_breakdown_categories(self):
+        ledger = EnergyLedger()
+        ledger.charge(EnergyEvent.ALU_INT, 1)
+        ledger.charge(EnergyEvent.NET_LINK, 1)
+        ledger.charge(EnergyEvent.MDE_MAY_CHECK, 1)
+        ledger.charge(EnergyEvent.LSQ_BLOOM, 1)
+        ledger.charge(EnergyEvent.LSQ_CAM_LOAD, 1)
+        ledger.charge(EnergyEvent.L1_WRITE, 1)
+        bd = ledger.breakdown()
+        assert bd.by_category[COMPUTE] == 1100.0
+        assert bd.by_category[MDE] == 500.0
+        assert bd.by_category[LSQ_BLOOM] == 2500.0
+        assert bd.by_category[LSQ_CAM] == 2500.0
+        assert bd.by_category[L1] == 6000.0
+        assert bd.total == ledger.total
+
+    def test_disambiguation_fraction(self):
+        ledger = EnergyLedger()
+        ledger.charge(EnergyEvent.ALU_INT, 1)       # 500 compute
+        ledger.charge(EnergyEvent.MDE_MUST, 2)      # 500 ordering
+        bd = ledger.breakdown()
+        assert bd.disambiguation == 500.0
+        assert bd.disambiguation_fraction == pytest.approx(0.5)
+
+    def test_merge(self):
+        a, b = EnergyLedger(), EnergyLedger()
+        a.charge(EnergyEvent.ALU_INT, 1)
+        b.charge(EnergyEvent.ALU_INT, 2)
+        a.merge(b)
+        assert a.counts[EnergyEvent.ALU_INT] == 3
+
+    def test_empty_breakdown_fraction(self):
+        bd = EnergyLedger().breakdown()
+        assert bd.fraction(COMPUTE) == 0.0
+        assert bd.disambiguation_fraction == 0.0
+
+
+class TestDecentralizedCheckModel:
+    def test_breakeven_matches_paper(self):
+        model = DecentralizedCheckModel()
+        assert model.breakeven_ratio == pytest.approx(6.0)
+
+    def test_lsq_energy_linear(self):
+        model = DecentralizedCheckModel()
+        assert model.lsq_energy(10) == 30000.0
+
+    def test_nachos_energy(self):
+        model = DecentralizedCheckModel()
+        assert model.nachos_energy(pairs_may=4, pairs_must=2) == 4 * 500 + 2 * 250
+
+    def test_profitability_threshold(self):
+        model = DecentralizedCheckModel()
+        assert model.profitable(n_mem_ops=10, pairs_may=59)
+        assert not model.profitable(n_mem_ops=10, pairs_may=60)
+
+    def test_zero_mem_ops(self):
+        model = DecentralizedCheckModel()
+        assert model.profitable(0, 0)
+        assert model.nachos_vs_lsq(0, 0) == 0.0
+
+    def test_ratio_below_one_for_few_mays(self):
+        model = DecentralizedCheckModel()
+        assert model.nachos_vs_lsq(100, 50) < 1.0
+        assert model.nachos_vs_lsq(10, 600) > 1.0

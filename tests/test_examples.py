@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv=None):
+    path = EXAMPLES / name
+    assert path.exists(), path
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "Pairwise alias labels" in out
+        assert "correct" in out
+        assert "NO" not in [l.split()[-1] for l in out.splitlines() if "cycles" in l]
+
+    def test_histogram_kernel(self, capsys):
+        run_example("histogram_kernel.py")
+        out = capsys.readouterr().out
+        assert "MAY MDEs" in out
+        assert "buckets" in out
+
+    def test_suite_comparison(self, capsys):
+        run_example("suite_comparison.py")
+        out = capsys.readouterr().out
+        assert "benchmark" in out
+        assert "gzip" in out and "bzip2" in out
+
+    def test_lsq_design_space(self, capsys):
+        run_example("lsq_design_space.py")
+        out = capsys.readouterr().out
+        assert "LSQ geometry" in out
+        assert "NACHOS" in out
+
+    def test_timeline_debug(self, capsys):
+        run_example("timeline_debug.py")
+        out = capsys.readouterr().out
+        assert "=== NACHOS-SW ===" in out
+        assert "#" in out
+
+    def test_inspect_region(self, capsys):
+        run_example("inspect_region.py", ["gzip"])
+        out = capsys.readouterr().out
+        assert "COMPILATION REPORT" in out
+        assert "pipeline labels identical after reload: True" in out
+
+    def test_dsl_kernel(self, capsys):
+        run_example("dsl_kernel.py")
+        out = capsys.readouterr().out
+        assert "Label census" in out
+        assert "True" in out  # correctness column
+        assert "False" not in out

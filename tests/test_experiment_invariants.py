@@ -1,0 +1,114 @@
+"""Row-level invariants every figure's result must satisfy."""
+
+import pytest
+
+from repro.experiments import (
+    appendix_model,
+    fig06,
+    fig07,
+    fig09,
+    fig10,
+    fig14,
+    fig16,
+    fig17,
+    fig18,
+    scope_study,
+    table2,
+)
+
+INV = 8
+
+
+@pytest.fixture(scope="module")
+def f17():
+    return fig17.run(invocations=INV)
+
+
+@pytest.fixture(scope="module")
+def f18():
+    return fig18.run(invocations=INV)
+
+
+class TestPercentagesWellFormed:
+    def test_fig06_fractions_bounded(self):
+        for r in fig06.run(top_k=1).rows:
+            assert 0.0 <= r.pct_may <= 100.0
+            assert 0.0 <= r.pct_must <= 100.0
+            assert r.pct_may + r.pct_must <= 100.0 + 1e-9
+
+    def test_fig07_conversion_bounded(self):
+        for r in fig07.run(top_k=1).rows:
+            assert 0.0 <= r.converted_pct <= 100.0
+
+    def test_fig09_retained_split_sums(self):
+        for r in fig09.run(top_k=1).rows:
+            assert r.retained_may_pct + r.retained_must_pct == pytest.approx(
+                r.retained_pct
+            )
+
+    def test_fig10_percentages(self):
+        for r in fig10.run().rows:
+            assert 0.0 <= r.pct_mem <= 100.0
+            assert 0.0 <= r.pct_may_ops <= 100.0
+
+    def test_fig14_buckets_sum_to_100(self):
+        for r in fig14.run().rows:
+            assert sum(r.pct_by_bucket.values()) == pytest.approx(100.0)
+
+    def test_fig17_breakdown_sums_to_100(self, f17):
+        for r in f17.rows:
+            assert r.pct_compute + r.pct_mde + r.pct_l1 == pytest.approx(
+                100.0, abs=0.5
+            )
+
+    def test_fig18_breakdown_sums_to_100(self, f18):
+        for r in f18.rows:
+            total = r.pct_compute + r.pct_bloom + r.pct_cam + r.pct_l1
+            assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_fig18_bloom_rate_bounded(self, f18):
+        for r in f18.rows:
+            assert 0.0 <= r.bloom_hit_pct <= 100.0
+
+
+class TestCrossExperimentConsistency:
+    def test_fig16_nachos_never_exceeds_baseline(self):
+        for r in fig16.run().rows:
+            assert r.nachos_mdes <= r.baseline_mdes, r.name
+            assert r.nachos_may + r.nachos_must == r.nachos_mdes
+
+    def test_appendix_ratio_consistent_with_fig16(self):
+        apx = {r.name: r for r in appendix_model.run().rows}
+        f16 = {r.name: r for r in fig16.run().rows}
+        for name, row in apx.items():
+            assert row.pairs_may == f16[name].nachos_may, name
+
+    def test_table2_matches_fig10_mem_fraction(self):
+        t2 = {r.name: r for r in table2.run().rows}
+        f10 = {r.name: r for r in fig10.run().rows}
+        for name in t2:
+            expected = 100.0 * t2[name].n_mem / t2[name].n_ops if t2[name].n_ops else 0
+            assert f10[name].pct_mem == pytest.approx(expected)
+
+    def test_scope_factor_consistent(self):
+        for r in scope_study.run().rows:
+            if r.region_may:
+                assert r.factor == pytest.approx(
+                    (r.region_may + r.added_may) / r.region_may
+                )
+            assert r.added_may >= 0
+
+    def test_zero_mem_benchmarks_inert_everywhere(self, f17, f18):
+        for result, attr in ((f17, "pct_mde"),):
+            for r in result.rows:
+                if r.name in ("blackscholes", "ferret"):
+                    assert getattr(r, attr) == 0.0
+        for r in f18.rows:
+            if r.name in ("blackscholes", "ferret"):
+                assert r.pct_bloom == 0.0 and r.pct_cam == 0.0
+
+    def test_energy_never_negative(self, f17, f18):
+        for r in f17.rows:
+            assert r.pct_mde >= 0.0
+        for r in f18.rows:
+            assert r.pct_bloom >= 0.0 and r.pct_cam >= 0.0

@@ -1,0 +1,191 @@
+"""Integration tests: every experiment runs and reports paper-like shapes.
+
+Simulation-based experiments run with a reduced invocation count so the
+whole file stays fast; the assertions check the *shape* claims from the
+paper, not absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import (
+    appendix_model,
+    compare_systems,
+    fig06,
+    fig07,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    scope_study,
+    table2,
+)
+from repro.experiments.regions import workload_for
+from repro.workloads import get_spec
+
+INV = 12  # few invocations: shape checks only
+
+
+# ---------------------------------------------------------------------------
+# Compile-only experiments (full 135-region corpus is cheap)
+# ---------------------------------------------------------------------------
+
+
+class TestTable2:
+    def test_27_rows(self):
+        result = table2.run()
+        assert len(result.rows) == 27
+        assert "Table II" in table2.render(result)
+
+    def test_mem_heavy_benchmarks_flagged(self):
+        result = table2.run()
+        by_name = {r.name: r for r in result.rows}
+        assert by_name["equake"].n_mem > 100
+        assert by_name["blackscholes"].n_mem == 0
+
+    def test_local_promotion_reported(self):
+        result = table2.run()
+        by_name = {r.name: r for r in result.rows}
+        assert by_name["crafty"].pct_local > 10
+        assert by_name["histogram"].pct_local == 0
+
+
+class TestStageFigures:
+    def test_fig06_stage1_resolves_several_workloads(self):
+        result = fig06.run(top_k=2)
+        assert len(result.rows) == 27
+        assert result.workloads_fully_resolved >= 5
+        assert "Figure 6" in fig06.render(result)
+
+    def test_fig06_may_dominates_where_unresolved(self):
+        result = fig06.run(top_k=1)
+        unresolved = [r for r in result.rows if r.pct_may > 0]
+        dominant_may = [r for r in unresolved if r.pct_may > r.pct_must]
+        assert len(dominant_may) > len(unresolved) / 2
+
+    def test_fig07_stage2_refines_provenance_benchmarks(self):
+        result = fig07.run(top_k=2)
+        refined = set(result.refined_workloads)
+        # gcc's two memory ops form a MUST pair, so it has no MAYs left
+        # to refine; the other provenance benchmarks must all improve.
+        for name in ["parser", "fluidanimate", "464.h264ref", "sar-backprojection"]:
+            assert name in refined
+        assert "Figure 7" in fig07.render(result)
+
+    def test_fig09_stage3_removes_relations(self):
+        result = fig09.run(top_k=2)
+        assert result.mean_removed_pct > 20
+        assert "Figure 9" in fig09.render(result)
+
+    def test_fig10_sorted_by_may(self):
+        result = fig10.run()
+        mays = [r.pct_may_ops for r in result.rows]
+        assert mays == sorted(mays)
+        assert "Figure 10" in fig10.render(result)
+
+    def test_fig14_fan_in_groups(self):
+        result = fig14.run()
+        assert len(result.no_may_workloads) >= 9
+        assert "bzip2" in result.high_fan_in_workloads
+        assert "sar-pfa-interp1" in result.high_fan_in_workloads
+        assert "Figure 14" in fig14.render(result)
+
+    def test_fig16_nachos_needs_fewer_mdes(self):
+        result = fig16.run()
+        by_name = {r.name: r for r in result.rows}
+        # Stage-4 benchmarks collapse to (almost) nothing vs baseline.
+        assert by_name["lbm"].nachos_mdes == 0
+        assert by_name["lbm"].baseline_mdes > 0
+        assert by_name["equake"].fraction < 0.2
+        assert len(result.zero_mde_workloads) >= 10
+        assert "Figure 16" in fig16.render(result)
+
+
+class TestScopeStudy:
+    def test_blowup_benchmarks(self):
+        result = scope_study.run()
+        assert set(result.over_10x) & {"bzip2", "soplex", "povray"}
+        assert len(result.increased) >= 8
+        assert "Section IV-A" in scope_study.render(result)
+
+
+class TestAppendixModel:
+    def test_high_ratio_benchmarks(self):
+        result = appendix_model.run()
+        over = set(result.over_ratio_1)
+        assert {"bzip2", "fft-2d", "histogram"} <= over
+        assert len(over) <= 9
+        assert "Appendix" in appendix_model.render(result)
+
+    def test_most_workloads_profitable(self):
+        result = appendix_model.run()
+        profitable = sum(1 for r in result.rows if r.profitable)
+        assert profitable >= 20
+
+
+# ---------------------------------------------------------------------------
+# Simulation experiments (reduced invocations)
+# ---------------------------------------------------------------------------
+
+
+class TestPerfFigures:
+    def test_fig11_sw_slowdown_group(self):
+        result = fig11.run(invocations=INV)
+        assert result.all_correct
+        slow = set(result.slowdown_group)
+        assert {"soplex", "povray", "fft-2d"} <= slow
+        assert "Figure 11" in fig11.render(result)
+
+    def test_fig12_worse_than_full_pipeline(self):
+        base = fig12.run(invocations=INV)
+        full = fig11.run(invocations=INV)
+        assert base.all_correct
+        by_name_full = {r.name: r.slowdown_pct for r in full.rows}
+        for name in ["equake", "lbm", "fluidanimate"]:
+            row = next(r for r in base.rows if r.name == name)
+            assert row.slowdown_pct > by_name_full[name] + 3.0, name
+        assert "Figure 12" in fig12.render(base)
+
+    def test_fig15_nachos_tracks_lsq(self):
+        result = fig15.run(invocations=INV)
+        assert result.all_correct
+        # NACHOS recovers the software-only slowdowns.
+        improved = set(result.improved_over_sw)
+        assert {"soplex", "povray", "fft-2d"} <= improved
+        worst = max(r.nachos_pct for r in result.rows)
+        assert worst < 15.0
+        assert "Figure 15" in fig15.render(result)
+
+
+class TestEnergyFigures:
+    def test_fig17_mde_energy_small_and_often_zero(self):
+        result = fig17.run(invocations=INV)
+        assert len(result.zero_overhead_workloads) >= 10
+        assert result.mean_mde_pct < 10.0
+        assert result.mean_saving_pct > 0.0
+        assert "Figure 17" in fig17.render(result)
+
+    def test_fig18_lsq_share_and_bloom_classes(self):
+        result = fig18.run(invocations=INV)
+        assert result.mean_lsq_pct > 3.0
+        table = result.bloom_table()
+        assert len(table["0"]) >= 5
+        assert "blackscholes" in table["0"]
+        assert "Figure 18" in fig18.render(result)
+
+
+class TestCompareSystems:
+    def test_runs_all_three(self):
+        w = workload_for(get_spec("parser"))
+        cmp = compare_systems(w, invocations=6)
+        assert set(cmp.runs) == {"opt-lsq", "nachos-sw", "nachos"}
+        assert cmp.all_correct
+
+    def test_compute_only_benchmark_identical(self):
+        w = workload_for(get_spec("blackscholes"))
+        cmp = compare_systems(w, invocations=6)
+        assert cmp.cycles("opt-lsq") == cmp.cycles("nachos") == cmp.cycles("nachos-sw")

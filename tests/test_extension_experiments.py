@@ -1,0 +1,87 @@
+"""Unit coverage for the extension experiments (limit/micro/observations).
+
+The ablation *benches* exercise these at full scale; these tests keep
+them covered by ``pytest tests/`` alone, at reduced scope.
+"""
+
+import pytest
+
+from repro.experiments import limit_study, micro_study, observations
+
+
+class TestObservations:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return observations.run(invocations=8)
+
+    def test_row_per_benchmark(self, result):
+        assert len(result.rows) == 27
+
+    def test_observation_1_promotion(self, result):
+        assert len(result.heavy_promoters) >= 8
+        by_name = {r.name: r for r in result.rows}
+        assert by_name["sar-backprojection"].promoted_pct > 40
+
+    def test_observation_2_sparse_conflicts(self, result):
+        assert result.mean_conflict_density < 0.2
+        by_name = {r.name: r for r in result.rows}
+        assert by_name["gzip"].conflict_density == 0.0
+
+    def test_observation_3_ranges(self, result):
+        lo, hi = result.mlp_range
+        assert hi / max(1, lo) >= 8  # order-of-magnitude MLP spread
+        mlo, mhi = result.mem_pct_range
+        assert mlo == 0.0 and mhi > 25.0
+
+    def test_render(self, result):
+        out = observations.render(result)
+        assert "Obs1" in out and "Obs3" in out
+
+
+class TestMicroStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return micro_study.run(invocations=6)
+
+    def test_all_idioms_all_systems(self, result):
+        assert len(result.rows) == 8
+        for row in result.rows:
+            assert set(row.cycles) == set(micro_study.SYSTEMS)
+
+    def test_all_correct(self, result):
+        assert result.all_correct
+
+    def test_best_system_sane(self, result):
+        for row in result.rows:
+            assert row.best_system() in micro_study.SYSTEMS
+
+    def test_render(self, result):
+        assert "idiom" in micro_study.render(result)
+
+
+class TestLimitStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return limit_study.run(invocations=8)
+
+    def test_all_correct(self, result):
+        assert result.all_correct
+
+    def test_oracle_never_slower_than_real_compiler(self, result):
+        for r in result.rows:
+            assert r.oracle_sw_cycles <= r.nachos_sw_cycles * 1.02, r.name
+
+    def test_stage1_perfect_benchmarks_have_no_gap(self, result):
+        by_name = {r.name: r for r in result.rows}
+        for name in ("gzip", "crafty", "sjeng"):
+            assert by_name[name].compiler_gap_pct == 0.0, name
+
+    def test_data_dependent_hardware_need(self, result):
+        # At the bench's full trace length histogram clears the 4%
+        # membership threshold; at this reduced scope just the direction:
+        # even the oracle static schedule is slower than runtime checks.
+        by_name = {r.name: r for r in result.rows}
+        assert by_name["histogram"].hardware_gap_pct > 0.0
+
+    def test_render(self, result):
+        assert "Limit study" in limit_study.render(result)

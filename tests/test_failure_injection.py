@@ -1,0 +1,147 @@
+"""Failure injection: the correctness oracle must catch broken backends.
+
+The whole test strategy rests on ``golden_execute`` detecting ordering
+violations.  These tests *inject* bugs — backends that skip ordering,
+compilers that drop MDEs — and assert the oracle flags the divergence.
+A silent pass here would mean the oracle is toothless.
+"""
+
+import pytest
+
+from repro.cgra.placement import place_region
+from repro.compiler import compile_region
+from repro.ir import AffineExpr, MemObject, RegionBuilder, Sym
+from repro.memory import MemoryHierarchy
+from repro.sim import DataflowEngine, NachosSWBackend, golden_execute
+from repro.sim.engine import DisambiguationBackend
+
+
+class RecklessBackend(DisambiguationBackend):
+    """Issues every memory op the moment its operands are ready —
+    no ordering whatsoever."""
+
+    name = "reckless"
+
+    def begin_invocation(self, inv, t0, addr_of) -> None:
+        self._value_ready = {}
+        self._addr_ready = {}
+
+    def on_addr_ready(self, op, t):
+        if op.is_load:
+            self.engine.do_load(op, t)
+        else:
+            self._addr_ready[op.op_id] = t
+            if op.op_id in self._value_ready:
+                self.engine.do_store(op, max(t, self._value_ready[op.op_id]))
+
+    def on_value_ready(self, op, t):
+        self._value_ready[op.op_id] = t
+        if op.op_id in self._addr_ready:
+            self.engine.do_store(op, max(t, self._addr_ready[op.op_id]))
+
+    def on_memory_complete(self, op, t):
+        pass
+
+
+def conflicting_region():
+    """st a[0] = f(x) ; ld a[0] — the load must see the store."""
+    a = MemObject("a", 4096, base_addr=0x1000)
+    b = RegionBuilder("conflict")
+    x = b.input("x")
+    # Delay the store's value so a reckless load races ahead.
+    slow = b.fdiv(x, x)
+    st = b.store(a, AffineExpr.constant(0), value=slow)
+    ld = b.load(a, AffineExpr.constant(0))
+    use = b.add(ld, x)
+    return b.build()
+
+
+class TestOracleCatchesBrokenBackends:
+    def test_reckless_backend_detected(self):
+        g = conflicting_region()
+        g.clear_mdes()
+        engine = DataflowEngine(
+            g, place_region(g), MemoryHierarchy(), RecklessBackend()
+        )
+        envs = [{}]
+        result = engine.run(envs)
+        golden = golden_execute(g, envs)
+        assert not golden.matches(result.load_values, result.memory_image)
+
+    def test_correct_backend_passes_same_region(self):
+        g = conflicting_region()
+        compile_region(g)
+        engine = DataflowEngine(
+            g, place_region(g), MemoryHierarchy(), NachosSWBackend()
+        )
+        envs = [{}]
+        result = engine.run(envs)
+        golden = golden_execute(g, envs)
+        assert golden.matches(result.load_values, result.memory_image)
+
+    def test_dropped_mdes_detected(self):
+        """NACHOS-SW with its MDEs stripped behaves like the reckless
+        backend on a conflicting region — and the oracle sees it."""
+        g = conflicting_region()
+        compile_region(g)
+        g.clear_mdes()  # sabotage: the compiler's orders vanish
+        engine = DataflowEngine(
+            g, place_region(g), MemoryHierarchy(), NachosSWBackend()
+        )
+        envs = [{}]
+        result = engine.run(envs)
+        golden = golden_execute(g, envs)
+        assert not golden.matches(result.load_values, result.memory_image)
+
+    def test_oracle_detects_st_st_misorder(self):
+        """Two same-address stores applied in the wrong order leave the
+        wrong final value."""
+        a = MemObject("a", 4096, base_addr=0x1000)
+        b = RegionBuilder()
+        x = b.input("x")
+        slow = b.fdiv(x, x)           # first store's value is slow
+        s1 = b.store(a, AffineExpr.constant(0), value=slow)
+        s2 = b.store(a, AffineExpr.constant(0), value=x)
+        g = b.build()
+        g.clear_mdes()
+        engine = DataflowEngine(
+            g, place_region(g), MemoryHierarchy(), RecklessBackend()
+        )
+        result = engine.run([{}])
+        golden = golden_execute(g, [{}])
+        assert not golden.matches(result.load_values, result.memory_image)
+
+    def test_oracle_detects_anti_dependence_violation(self):
+        """A younger store clobbering an older (slow) load's location."""
+        a = MemObject("a", 4096, base_addr=0x1000)
+        b = RegionBuilder()
+        x = b.input("x")
+        slow = b.fdiv(x, x)
+        gep = b.gep(slow)
+        ld = b.load(a, AffineExpr.constant(0), inputs=[gep])  # slow addr
+        st = b.store(a, AffineExpr.constant(0), value=x)      # fast store
+        g = b.build()
+        g.clear_mdes()
+        engine = DataflowEngine(
+            g, place_region(g), MemoryHierarchy(), RecklessBackend()
+        )
+        result = engine.run([{}])
+        golden = golden_execute(g, [{}])
+        assert not golden.matches(result.load_values, result.memory_image)
+
+    def test_reckless_is_fine_without_conflicts(self):
+        """No conflicts => even the reckless backend is correct; the
+        oracle only fires on real ordering violations."""
+        a = MemObject("a", 4096, base_addr=0x1000)
+        c = MemObject("c", 4096, base_addr=0x9000)
+        b = RegionBuilder()
+        x = b.input("x")
+        b.store(a, AffineExpr.constant(0), value=x)
+        b.load(c, AffineExpr.constant(0))
+        g = b.build()
+        engine = DataflowEngine(
+            g, place_region(g), MemoryHierarchy(), RecklessBackend()
+        )
+        result = engine.run([{}])
+        golden = golden_execute(g, [{}])
+        assert golden.matches(result.load_values, result.memory_image)

@@ -1,0 +1,95 @@
+"""Tests for the region linter + golden-stats guard on the suite."""
+
+import pytest
+
+from repro.ir import AffineExpr, IVar, MemObject, MemorySpace, RegionBuilder
+from repro.ir.lint import lint_region
+from repro.workloads import SUITE, build_workload, get_spec
+from tests.conftest import build_simple_region
+
+
+class TestLinter:
+    def test_clean_region_has_few_warnings(self):
+        g = build_simple_region()
+        warnings = lint_region(g)
+        # The unused input is the only legitimate nit in the fixture.
+        assert all("live-in" in w for w in warnings)
+
+    def test_dead_load_flagged(self):
+        a = MemObject("a", 4096)
+        b = RegionBuilder()
+        b.load(a, AffineExpr.constant(0))
+        g = b.build()
+        assert any("dead load" in w for w in lint_region(g))
+
+    def test_oversized_access_flagged(self):
+        a = MemObject("tiny", 4)
+        b = RegionBuilder()
+        ld = b.load(a, AffineExpr.constant(0), width=8)
+        b.add(ld, ld)
+        g = b.build()
+        assert any("exceeds" in w for w in lint_region(g))
+
+    def test_unpromoted_local_flagged(self):
+        stack = MemObject("frame", 64, MemorySpace.STACK)
+        b = RegionBuilder()
+        ld = b.load(stack, AffineExpr.constant(0))
+        b.add(ld, ld)
+        g = b.build()
+        assert any("scratchpad promotion" in w for w in lint_region(g))
+
+    def test_out_of_bounds_range_flagged(self):
+        a = MemObject("a", 64)
+        iv = IVar("i", 64)
+        b = RegionBuilder()
+        ld = b.load(a, AffineExpr.of(ivs={iv: 8}))  # up to 8*63+8 > 64
+        b.add(ld, ld)
+        g = b.build()
+        assert any("outside object" in w for w in lint_region(g))
+
+    def test_dangling_compute_flagged(self):
+        b = RegionBuilder()
+        x = b.input("x")
+        b.add(x, x)       # dangling
+        b.mul(x, x)       # last op: allowed as region result
+        g = b.build()
+        warnings = lint_region(g)
+        assert sum("never consumed" in w for w in warnings) == 1
+
+    def test_suite_regions_lint_clean_of_memory_warnings(self):
+        """Generated workloads must never produce memory-shape lints
+        (dead loads are fine: stores' values come from elsewhere)."""
+        for spec in SUITE[:8]:
+            w = build_workload(spec)
+            for warning in lint_region(w.graph):
+                assert "exceeds" not in warning, (spec.name, warning)
+                assert "outside object" not in warning, (spec.name, warning)
+                assert "scratchpad promotion" not in warning, (spec.name, warning)
+
+
+class TestGoldenSuiteStats:
+    """Pin the generated suite's shape so silent generator drift fails
+    loudly (update deliberately when the generator changes)."""
+
+    def test_region_sizes_stable(self):
+        expected = {
+            "gzip": (64, 4),
+            "equake": (559, 215),
+            "bzip2": (501, 110),
+            "histogram": (522, 48),
+            "blackscholes": (297, 0),
+        }
+        for name, (n_ops, n_mem) in expected.items():
+            w = build_workload(get_spec(name))
+            assert abs(len(w.graph) - n_ops) <= n_ops * 0.15 + 8, name
+            assert abs(len(w.graph.memory_ops) - n_mem) <= n_mem * 0.15 + 2, name
+
+    def test_total_suite_footprint(self):
+        total_ops = sum(len(build_workload(s).graph) for s in SUITE)
+        # 27 hottest regions, ~5.5k static ops (Table II sums to ~5.4k).
+        assert 4000 <= total_ops <= 7500
+
+    def test_env_determinism_across_workload_instances(self):
+        w1 = build_workload(get_spec("histogram"))
+        w2 = build_workload(get_spec("histogram"))
+        assert w1.invocations(10) == w2.invocations(10)

@@ -1,0 +1,95 @@
+"""Property tests: the set-associative cache against a reference model."""
+
+from collections import OrderedDict
+from typing import Dict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import CacheConfig, MemoryHierarchy, SetAssociativeCache
+
+
+class ReferenceLRUCache:
+    """A brute-force per-set LRU model (the specification)."""
+
+    def __init__(self, n_sets: int, ways: int, line_bytes: int) -> None:
+        self.n_sets = n_sets
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.sets: Dict[int, "OrderedDict[int, None]"] = {}
+
+    def access(self, addr: int) -> bool:
+        line = addr // self.line_bytes
+        idx = line % self.n_sets
+        ways = self.sets.setdefault(idx, OrderedDict())
+        hit = line in ways
+        if hit:
+            ways.move_to_end(line)
+        else:
+            if len(ways) >= self.ways:
+                ways.popitem(last=False)
+            ways[line] = None
+        return hit
+
+
+@st.composite
+def access_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=120))
+    return [
+        (draw(st.integers(0, 4096)), draw(st.booleans())) for _ in range(n)
+    ]
+
+
+class TestCacheAgainstReference:
+    @settings(max_examples=80, deadline=None)
+    @given(seq=access_sequences())
+    def test_hit_miss_sequence_matches_reference(self, seq):
+        config = CacheConfig("t", size_bytes=512, ways=2, line_bytes=64)
+        cache = SetAssociativeCache(config)
+        ref = ReferenceLRUCache(config.n_sets, config.ways, config.line_bytes)
+        for addr, is_write in seq:
+            assert cache.access(addr, is_write) == ref.access(addr)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seq=access_sequences())
+    def test_occupancy_bounded_by_capacity(self, seq):
+        config = CacheConfig("t", size_bytes=512, ways=2, line_bytes=64)
+        cache = SetAssociativeCache(config)
+        for addr, is_write in seq:
+            cache.access(addr, is_write)
+        assert cache.occupancy <= config.n_sets * config.ways
+
+    @settings(max_examples=50, deadline=None)
+    @given(seq=access_sequences())
+    def test_stats_accounting_consistent(self, seq):
+        config = CacheConfig("t", size_bytes=512, ways=2, line_bytes=64)
+        cache = SetAssociativeCache(config)
+        for addr, is_write in seq:
+            cache.access(addr, is_write)
+        s = cache.stats
+        assert s.accesses == len(seq)
+        assert s.hits + s.misses == len(seq)
+        assert s.writebacks <= s.evictions
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=access_sequences())
+    def test_hierarchy_latencies_well_formed(self, seq):
+        h = MemoryHierarchy()
+        cycle = 0
+        for addr, is_write in seq:
+            r = h.access(addr, is_write, cycle)
+            assert r.start >= cycle
+            assert r.complete > r.start
+            cycle = r.start + 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=access_sequences())
+    def test_second_touch_is_l1_hit(self, seq):
+        """Immediately repeating an access (after the fill lands) must
+        hit the L1 at the hit latency."""
+        h = MemoryHierarchy()
+        cycle = 0
+        for addr, is_write in seq[:20]:
+            first = h.access(addr, is_write, cycle)
+            again = h.access(addr, False, first.complete + 1)
+            assert again.latency == h.config.l1.latency
+            cycle = again.complete + 1

@@ -1,0 +1,95 @@
+"""Tests for the microbenchmark suite."""
+
+import pytest
+
+from repro.compiler import AliasLabel, compile_region
+from repro.experiments.common import compare_systems, run_system
+from repro.workloads.micro import MICROS, build_micro, micro_names
+
+
+class TestMicroConstruction:
+    def test_all_micros_build_and_validate(self):
+        for name in micro_names():
+            w = build_micro(name)
+            w.graph.validate()
+            assert w.name.startswith("micro.")
+
+    def test_unknown_micro(self):
+        with pytest.raises(KeyError):
+            build_micro("nope")
+
+    def test_envs_bind_everything(self):
+        for name in micro_names():
+            w = build_micro(name)
+            env = w.invocations(1)[0]
+            for op in w.graph.memory_ops:
+                op.addr.evaluate(env)
+
+
+class TestMicroLabelSignatures:
+    def test_stream_triad_fully_resolved(self):
+        result = compile_region(build_micro("stream_triad").graph)
+        assert result.final_labels.count(AliasLabel.MAY) == 0
+        assert result.needs_no_disambiguation
+
+    def test_stencil_resolved_by_scev(self):
+        result = compile_region(build_micro("stencil3").graph)
+        assert result.final_labels.count(AliasLabel.MAY) == 0
+
+    def test_reduction_has_no_pairs(self):
+        result = compile_region(build_micro("reduction").graph)
+        assert result.total_pairs == 0  # loads only
+
+    def test_gather_is_ambiguity_free(self):
+        # Indirect *loads* pair with nothing: LD-LD needs no ordering and
+        # the stores hit a provably distinct output array.
+        result = compile_region(build_micro("gather").graph)
+        assert result.needs_no_disambiguation
+
+    def test_scatter_and_rmw_stay_may(self):
+        for name in ("scatter", "rmw"):
+            result = compile_region(build_micro(name).graph)
+            assert result.final_labels.count(AliasLabel.MAY) > 0, name
+
+    def test_rmw_same_slot_pairs_are_must(self):
+        result = compile_region(build_micro("rmw").graph)
+        # Each ld/st pair shares one Sym -> exact MUST.  They are LD->ST
+        # (read-modify-write), so they order — never forward — and the
+        # store's data dependence on the load lets stage 3 prune them.
+        assert result.stage1.count(AliasLabel.MUST) >= 4
+        assert result.plan.removed_must >= 4
+
+    def test_transpose_resolved_by_stage4(self):
+        result = compile_region(build_micro("transpose").graph)
+        assert result.stage1.count(AliasLabel.MAY) > 0
+        assert result.final_labels.count(AliasLabel.MAY) == 0
+
+    def test_pointer_chase_is_serial(self):
+        from repro.workloads import measured_mlp
+
+        w = build_micro("pointer_chase")
+        assert measured_mlp(w.graph) == 1
+
+
+class TestMicroExecution:
+    @pytest.mark.parametrize("name", sorted(MICROS))
+    def test_all_systems_correct(self, name):
+        w = build_micro(name)
+        cmp = compare_systems(w, invocations=6)
+        assert cmp.all_correct, name
+
+    def test_scatter_conflicts_drive_checks(self):
+        w = build_micro("scatter")  # indirect_range=64: real collisions
+        run = run_system(w, "nachos", invocations=12)
+        assert run.correct
+        assert run.sim.backend_stats.comparator_checks > 0
+
+    def test_rmw_cross_pair_conflicts_handled(self):
+        """With a 32-slot table, distinct RMW pairs collide across and
+        within invocations; NACHOS must detect and order those."""
+        w = build_micro("rmw")
+        run = run_system(w, "nachos", invocations=20)
+        assert run.correct
+        stats = run.sim.backend_stats
+        assert stats.comparator_checks > 0
+        assert stats.comparator_conflicts + stats.runtime_forwards > 0

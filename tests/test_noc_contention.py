@@ -1,0 +1,105 @@
+"""Tests for XY routing and optional link-contention modeling."""
+
+import pytest
+
+from repro.cgra import CGRAConfig, Placement
+from repro.cgra.placement import place_region
+from repro.memory import MemoryHierarchy
+from repro.sim import DataflowEngine, NachosSWBackend, golden_execute
+from repro.sim.config import EngineConfig
+from tests.conftest import build_simple_region
+
+
+class TestXYRoute:
+    def _placement(self):
+        p = Placement(CGRAConfig(rows=8, cols=8))
+        p.cells = {0: (0, 0), 1: (2, 3), 2: (0, 1)}
+        return p
+
+    def test_route_length_equals_hops(self):
+        p = self._placement()
+        assert len(p.xy_route(0, 1)) == p.hops(0, 1) == 5
+
+    def test_route_is_contiguous(self):
+        p = self._placement()
+        route = p.xy_route(0, 1)
+        for (a, b), (c, d) in zip(route, route[1:]):
+            assert b == c
+        assert route[0][0] == (0, 0)
+        assert route[-1][1] == (2, 3)
+
+    def test_route_x_first(self):
+        p = self._placement()
+        route = p.xy_route(0, 1)
+        # First hops move along the row (column changes).
+        assert route[0][1] == (0, 1)
+
+    def test_self_route_empty(self):
+        p = self._placement()
+        assert p.xy_route(0, 0) == []
+
+    def test_adjacent_single_link(self):
+        p = self._placement()
+        assert p.xy_route(0, 2) == [((0, 0), (0, 1))]
+
+
+class TestLinkContention:
+    def _run(self, contention: bool):
+        g = build_simple_region()
+        engine = DataflowEngine(
+            g,
+            place_region(g),
+            MemoryHierarchy(),
+            NachosSWBackend(),
+            config=EngineConfig(model_link_contention=contention),
+        )
+        envs = [{"i": k % 64} for k in range(6)]
+        return engine.run(envs), g, envs
+
+    def test_contention_never_speeds_up(self):
+        free, _, _ = self._run(False)
+        congested, _, _ = self._run(True)
+        assert congested.cycles >= free.cycles
+
+    def test_contention_preserves_correctness(self):
+        result, g, envs = self._run(True)
+        golden = golden_execute(g, envs)
+        assert golden.matches(result.load_values, result.memory_image)
+
+    def test_fan_out_hotspot_serializes(self):
+        """Many consumers of one producer share that producer's outgoing
+        links; contention must stagger their deliveries."""
+        from repro.ir import RegionBuilder
+
+        b = RegionBuilder()
+        x = b.input("x")
+        y = b.input("y")
+        consumers = [b.add(x, y) for _ in range(12)]
+        g = b.build()
+
+        def run(contention):
+            engine = DataflowEngine(
+                g, place_region(g), MemoryHierarchy(), NachosSWBackend(),
+                config=EngineConfig(model_link_contention=contention),
+            )
+            engine.run([{}])
+            return max(
+                engine.state_of(c.op_id).complete_time for c in consumers
+            )
+
+        assert run(True) > run(False)
+
+    def test_suite_workload_correct_under_contention(self):
+        from repro.compiler import compile_region
+        from repro.workloads import build_workload, get_spec
+
+        w = build_workload(get_spec("parser"))
+        compile_region(w.graph)
+        engine = DataflowEngine(
+            w.graph, place_region(w.graph), MemoryHierarchy(),
+            NachosSWBackend(), config=EngineConfig(model_link_contention=True),
+        )
+        envs = w.invocations(6)
+        result = engine.run(envs)
+        golden = golden_execute(w.graph, envs)
+        assert golden.matches(result.load_values, result.memory_image)

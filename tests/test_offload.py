@@ -1,0 +1,127 @@
+"""Tests for the host model and offload planner."""
+
+import pytest
+
+from repro.offload import HostCoreModel, plan_offload
+from repro.offload.planner import OffloadPlan, PathDecision
+from repro.workloads import build_workload, get_spec
+from tests.conftest import build_simple_region
+
+
+class TestHostCoreModel:
+    def test_cycles_scale_with_ops(self):
+        host = HostCoreModel.paper_default()
+        small = build_workload(get_spec("gzip")).graph
+        big = build_workload(get_spec("equake")).graph
+        assert host.invocation_cycles(big) > host.invocation_cycles(small)
+
+    def test_fp_costs_extra(self):
+        from repro.ir import RegionBuilder
+
+        host = HostCoreModel.paper_default()
+        b1 = RegionBuilder()
+        x = b1.input("x")
+        for _ in range(10):
+            x = b1.add(x, x)
+        int_graph = b1.build()
+        b2 = RegionBuilder()
+        y = b2.input("y")
+        for _ in range(10):
+            y = b2.fadd(y, y)
+        fp_graph = b2.build()
+        assert host.invocation_cycles(fp_graph) > host.invocation_cycles(int_graph)
+
+    def test_miss_rate_override(self):
+        host = HostCoreModel.paper_default()
+        g = build_simple_region()
+        assert host.invocation_cycles(g, miss_rate=1.0) > host.invocation_cycles(
+            g, miss_rate=0.0
+        )
+
+    def test_energy_excludes_plumbing(self):
+        from repro.ir import RegionBuilder
+
+        host = HostCoreModel()
+        b = RegionBuilder()
+        x = b.input("x")
+        c = b.const(0)
+        s = b.add(x, c)
+        g = b.build()
+        assert host.invocation_energy(g) == host.energy_per_op_fj  # only the add
+
+
+class _FakePath:
+    def __init__(self, name, weight, graph):
+        self.name = name
+        self.weight = weight
+        self.graph = graph
+
+
+class TestPlanner:
+    def _paths(self):
+        g = build_simple_region()
+        return [_FakePath("p0", 0.5, g), _FakePath("p1", 0.3, g)]
+
+    def test_edp_decision(self):
+        paths = self._paths()
+        host = HostCoreModel.paper_default()
+        hc = host.invocation_cycles(paths[0].graph)
+        he = host.invocation_energy(paths[0].graph)
+        # p0: tiny energy -> offload despite slower; p1: terrible both ways.
+        plan = plan_offload(
+            paths,
+            accel_cycles={"p0": hc * 1.5, "p1": hc * 3},
+            accel_energy={"p0": he * 0.1, "p1": he * 2},
+            host=host,
+            fence_cycles=0.0,
+        )
+        d = {x.path: x for x in plan.decisions}
+        assert d["p0"].offload
+        assert not d["p1"].offload
+        assert plan.covered_weight == pytest.approx(0.5)
+
+    def test_program_speedup_amdahl(self):
+        plan = OffloadPlan(
+            decisions=[
+                PathDecision("p", 0.5, 100, 50, 1.0, 0.5, offload=True),
+                PathDecision("q", 0.3, 100, 200, 1.0, 2.0, offload=False),
+            ]
+        )
+        # new time = 0.5/2 + 0.3 + 0.2 residue = 0.75
+        assert plan.program_speedup() == pytest.approx(1 / 0.75)
+
+    def test_program_energy_ratio(self):
+        plan = OffloadPlan(
+            decisions=[
+                PathDecision("p", 0.5, 100, 50, 100.0, 10.0, offload=True),
+            ]
+        )
+        # 0.5*0.1 + 0.5 residue = 0.55
+        assert plan.program_energy_ratio() == pytest.approx(0.55)
+
+    def test_fence_cost_discourages_tiny_paths(self):
+        paths = [self._paths()[0]]
+        host = HostCoreModel.paper_default()
+        hc = host.invocation_cycles(paths[0].graph)
+        he = host.invocation_energy(paths[0].graph)
+        cheap = plan_offload(
+            paths, {"p0": hc}, {"p0": he * 0.9}, host=host, fence_cycles=0.0
+        )
+        dear = plan_offload(
+            paths, {"p0": hc}, {"p0": he * 0.9}, host=host,
+            fence_cycles=hc * 10,
+        )
+        assert cheap.decisions[0].offload
+        assert not dear.decisions[0].offload
+
+
+class TestOffloadStudy:
+    def test_runs_and_favors_offload(self):
+        from repro.experiments import offload_study
+
+        result = offload_study.run(invocations=4, top_k=1)
+        assert len(result.rows) == 27
+        assert result.all_offload_something
+        # Accelerators exist for energy: the program energy drops.
+        assert result.mean_program_energy_ratio < 0.85
+        assert "Offload study" in offload_study.render(result)

@@ -1,0 +1,161 @@
+"""Unit tests for the pipeline driver and MDE insertion."""
+
+import pytest
+
+from repro.compiler import (
+    AliasLabel,
+    AliasPipeline,
+    PipelineConfig,
+    compile_region,
+)
+from repro.compiler.mde import count_by_kind
+from repro.ir import (
+    AffineExpr,
+    IVar,
+    MDEKind,
+    MemObject,
+    PointerParam,
+    RegionBuilder,
+)
+from tests.conftest import build_may_region, build_simple_region
+
+
+class TestPipelineConfigs:
+    def test_full_runs_all_stages(self, may_region):
+        result = AliasPipeline(PipelineConfig.full()).run(may_region)
+        assert result.stage2 is not None
+        assert result.stage4 is not None
+
+    def test_baseline_compiler_skips_2_and_4(self, may_region):
+        result = AliasPipeline(PipelineConfig.baseline_compiler()).run(may_region)
+        assert result.stage2 is None
+        assert result.stage4 is None
+
+    def test_stage1_only(self, may_region):
+        cfg = PipelineConfig.software_only_stage1()
+        result = AliasPipeline(cfg).run(may_region)
+        assert result.stage2 is None and result.stage4 is None
+        # No stage-3 pruning: everything enforceable retained.
+        enforceable = result.stage1.count(AliasLabel.MAY) + result.stage1.count(
+            AliasLabel.MUST
+        )
+        assert len(result.plan.retained) == enforceable
+
+    def test_mdes_installed_on_graph(self):
+        g = build_may_region()
+        result = compile_region(g)
+        assert g.mdes == result.mdes
+
+    def test_apply_mdes_false_leaves_graph_untouched(self):
+        g = build_may_region()
+        g.clear_mdes()
+        AliasPipeline().run(g, apply_mdes=False)
+        assert g.mdes == []
+
+
+class TestPipelineResult:
+    def test_label_refinement_monotone(self):
+        g = build_may_region()
+        result = compile_region(g)
+        # stages 2/4 may only turn MAY into something else
+        for pair, label in result.stage1:
+            if label is not AliasLabel.MAY:
+                assert result.final_labels.get(*pair) is label
+
+    def test_may_fan_in_counts_may_edges(self):
+        g = build_may_region()
+        result = compile_region(g)
+        fan = result.may_fan_in()
+        assert sum(fan.values()) == len(result.may_mdes)
+
+    def test_needs_no_disambiguation_flag(self):
+        g = build_simple_region()
+        result = compile_region(g)
+        assert result.needs_no_disambiguation
+        g2 = build_may_region()
+        result2 = compile_region(g2)
+        assert not result2.needs_no_disambiguation
+
+    def test_total_pairs_matches_universe(self):
+        g = build_may_region()
+        result = compile_region(g)
+        assert result.total_pairs == result.stage1.total
+
+
+class TestMDEInsertion:
+    def _rmw_region(self):
+        """st a[8i] = x ; ld a[8i] (exact ST->LD, forwardable)."""
+        a = MemObject("a", 4096)
+        iv = IVar("i", 16)
+        b = RegionBuilder()
+        x = b.input("x")
+        st = b.store(a, AffineExpr.of(ivs={iv: 8}), value=x)
+        ld = b.load(a, AffineExpr.of(ivs={iv: 8}))
+        return b.build(), st, ld
+
+    def test_exact_st_ld_becomes_forward(self):
+        g, st, ld = self._rmw_region()
+        result = compile_region(g)
+        kinds = count_by_kind(result.mdes)
+        assert kinds[MDEKind.FORWARD] == 1
+        assert result.mdes[0].src == st.op_id
+        assert result.mdes[0].dst == ld.op_id
+
+    def test_partial_overlap_becomes_order(self):
+        a = MemObject("a", 4096)
+        b = RegionBuilder()
+        x = b.input("x")
+        st = b.store(a, AffineExpr.constant(0), value=x, width=8)
+        ld = b.load(a, AffineExpr.constant(4), width=8)
+        g = b.build()
+        result = compile_region(g)
+        kinds = count_by_kind(result.mdes)
+        assert kinds[MDEKind.ORDER] == 1
+        assert kinds[MDEKind.FORWARD] == 0
+
+    def test_forward_blocked_by_intervening_may_store(self):
+        """A MAY store between the exact store and the load kills the
+        forward: at runtime it might overwrite the location."""
+        a = MemObject("a", 4096)
+        t = MemObject("t", 4096, base_addr=0x9000)
+        p = PointerParam("p", runtime_object=t)  # opaque: MAY vs a
+        b = RegionBuilder()
+        x = b.input("x")
+        st = b.store(a, AffineExpr.constant(0), value=x)
+        mid = b.store(p, AffineExpr.constant(0), value=x)
+        ld = b.load(a, AffineExpr.constant(0))
+        g = b.build()
+        result = compile_region(g)
+        kinds = count_by_kind(result.mdes)
+        assert kinds[MDEKind.FORWARD] == 0
+        # The exact pair is still enforced, just as ORDER.
+        assert any(
+            e.src == st.op_id and e.dst == ld.op_id and e.kind is MDEKind.ORDER
+            for e in result.mdes
+        )
+
+    def test_youngest_exact_store_wins_forwarding(self):
+        a = MemObject("a", 4096)
+        b = RegionBuilder()
+        x = b.input("x")
+        st1 = b.store(a, AffineExpr.constant(0), value=x)
+        st2 = b.store(a, AffineExpr.constant(0), value=x)
+        ld = b.load(a, AffineExpr.constant(0))
+        g = b.build()
+        result = compile_region(g)
+        forwards = [e for e in result.mdes if e.kind is MDEKind.FORWARD]
+        assert len(forwards) == 1
+        assert forwards[0].src == st2.op_id
+
+    def test_at_most_one_forward_per_load(self):
+        g = build_may_region()
+        result = compile_region(g)
+        targets = [e.dst for e in result.mdes if e.kind is MDEKind.FORWARD]
+        assert len(targets) == len(set(targets))
+
+    def test_may_pairs_become_may_edges(self):
+        g = build_may_region()
+        result = compile_region(g)
+        n_may = len(result.plan.retained_may)
+        kinds = count_by_kind(result.mdes)
+        assert kinds[MDEKind.MAY] == n_may

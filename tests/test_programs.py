@@ -1,0 +1,143 @@
+"""Unit tests for the program model, extraction, promotion, and scope study."""
+
+import pytest
+
+from repro.ir import (
+    AddressExpr,
+    AffineExpr,
+    IVar,
+    MemObject,
+    MemorySpace,
+    Opcode,
+    PointerParam,
+    RegionBuilder,
+)
+from repro.programs import (
+    Function,
+    HotPath,
+    Program,
+    extract_regions,
+    promote_scratchpad,
+    widen_scope_study,
+)
+from repro.workloads import get_spec
+from repro.workloads.suite import build_program
+
+
+def region_with_locals():
+    heap = MemObject("h", 4096, MemorySpace.HEAP, base_addr=0x1000)
+    stack = MemObject("s", 256, MemorySpace.STACK, base_addr=0x9000)
+    iv = IVar("i", 8)
+    b = RegionBuilder("locals")
+    x = b.input("x")
+    ld_heap = b.load(heap, AffineExpr.of(ivs={iv: 8}))
+    ld_stack = b.load(stack, AffineExpr.constant(0))
+    acc = b.add(ld_heap, ld_stack)
+    st_stack = b.store(stack, AffineExpr.constant(8), value=acc)
+    st_heap = b.store(heap, AffineExpr.of(ivs={iv: 8}), value=acc)
+    return b.build()
+
+
+class TestPromotion:
+    def test_local_ops_become_spad(self):
+        result = promote_scratchpad(region_with_locals())
+        assert result.n_promoted == 2
+        assert result.n_kept == 2
+        opcodes = [op.opcode for op in result.graph.ops]
+        assert opcodes.count(Opcode.SPAD_LOAD) == 1
+        assert opcodes.count(Opcode.SPAD_STORE) == 1
+
+    def test_dataflow_shape_preserved(self):
+        original = region_with_locals()
+        promoted = promote_scratchpad(original).graph
+        assert len(promoted) == len(original)
+        for a, b in zip(original.ops, promoted.ops):
+            assert a.inputs == b.inputs
+
+    def test_promoted_fraction(self):
+        result = promote_scratchpad(region_with_locals())
+        assert result.promoted_fraction == pytest.approx(0.5)
+
+    def test_heap_only_region_untouched(self, simple_region):
+        result = promote_scratchpad(simple_region)
+        assert result.n_promoted == 0
+        assert [op.opcode for op in result.graph.ops] == [
+            op.opcode for op in simple_region.ops
+        ]
+
+
+class TestExtraction:
+    def test_extracts_top_k_by_weight(self):
+        program = build_program(get_spec("parser"), top_k=3)
+        regions = extract_regions(program, top_k=3)
+        assert len(regions) == 3
+        weights = [r.weight for r in regions]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_region_names_qualified(self):
+        program = build_program(get_spec("gzip"), top_k=1)
+        region = extract_regions(program, top_k=1)[0]
+        assert region.name.startswith("gzip/")
+
+    def test_promotion_applied_during_extraction(self):
+        program = build_program(get_spec("crafty"), top_k=1)
+        region = extract_regions(program, top_k=1)[0]
+        assert region.n_promoted > 0
+
+    def test_promotion_can_be_disabled(self):
+        program = build_program(get_spec("crafty"), top_k=1)
+        region = extract_regions(program, top_k=1, promote_locals=False)[0]
+        assert region.n_promoted == 0
+
+    def test_function_lookup(self):
+        program = build_program(get_spec("gzip"))
+        fn = program.function("gzip.kernel")
+        assert fn.paths
+        with pytest.raises(KeyError):
+            program.function("nope")
+
+    def test_hottest_ordering(self):
+        fn = Function(
+            "f",
+            paths=[
+                HotPath("a", 0.1, lambda: RegionBuilder().build(validate=False)),
+                HotPath("b", 0.9, lambda: RegionBuilder().build(validate=False)),
+            ],
+        )
+        assert [p.name for p in fn.hottest(2)] == ["b", "a"]
+
+
+class TestScopeStudy:
+    def test_opaque_parent_accesses_add_mays(self):
+        w_graph = region_with_locals()
+        target = MemObject("ext", 4096, base_addr=0x20000)
+        opaque = PointerParam("op", runtime_object=target, provenance=None)
+        parent = [AddressExpr(opaque, AffineExpr.constant(0), 8)]
+        study = widen_scope_study(w_graph, parent)
+        assert study.added_may > 0
+
+    def test_known_parent_objects_add_nothing(self):
+        w_graph = region_with_locals()
+        known = MemObject("g", 4096, MemorySpace.GLOBAL, base_addr=0x30000)
+        parent = [AddressExpr(known, AffineExpr.constant(0), 8)]
+        study = widen_scope_study(w_graph, parent)
+        assert study.added_may == 0
+
+    def test_blowup_benchmarks_increase(self):
+        for name in ["bzip2", "soplex", "povray"]:
+            from repro.workloads import build_workload
+
+            w = build_workload(get_spec(name))
+            program = build_program(get_spec(name), top_k=1)
+            study = widen_scope_study(
+                w.graph, program.functions[0].parent_accesses
+            )
+            assert study.may_increase_factor > 2.0, name
+
+    def test_factor_with_zero_region_mays(self):
+        from repro.programs.scope import ScopeStudyResult
+
+        r = ScopeStudyResult(region_may=0, added_may=5, added_pairs=10)
+        assert r.may_increase_factor == 5.0
+        r2 = ScopeStudyResult(region_may=0, added_may=0, added_pairs=10)
+        assert r2.may_increase_factor == 1.0

@@ -1,0 +1,323 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The central contract: *any* region graph, compiled by the pipeline and
+executed by any of the three backends over any trace, must produce the
+same load values and final memory image as strict program-order
+execution.  Alongside it: soundness of the alias labels themselves and
+algebraic properties of the symbolic layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cgra.placement import place_region
+from repro.compiler import AliasLabel, compile_region
+from repro.compiler.aliasing.symbolic import compare_offsets
+from repro.ir import (
+    AddressExpr,
+    AffineExpr,
+    IVar,
+    MemObject,
+    PointerParam,
+    RegionBuilder,
+    Sym,
+)
+from repro.memory import MemoryHierarchy
+from repro.sim import (
+    DataflowEngine,
+    NachosBackend,
+    NachosSWBackend,
+    OptLSQBackend,
+    golden_execute,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+IVARS = [IVar("i", 8), IVar("j", 6)]
+SYMS = [Sym("s0"), Sym("s1")]
+
+
+@st.composite
+def affine_exprs(draw, allow_syms: bool = True):
+    const = draw(st.integers(min_value=0, max_value=96))
+    ivs = {}
+    for iv in IVARS:
+        coeff = draw(st.sampled_from([0, 0, 8, 16, -8]))
+        if coeff:
+            ivs[iv] = coeff
+    syms = {}
+    if allow_syms and draw(st.booleans()):
+        syms[draw(st.sampled_from(SYMS))] = 8
+    # Keep addresses inside the object.
+    return AffineExpr.of(const=const + 256, ivs=ivs, syms=syms)
+
+
+@st.composite
+def regions(draw):
+    """A random small region with a mix of alias mechanisms."""
+    objects = [
+        MemObject("o0", 4096, base_addr=0x1000),
+        MemObject("o1", 4096, base_addr=0x3000),
+    ]
+    opaque_target = MemObject("t", 4096, base_addr=0x5000)
+    params = [
+        PointerParam("p0", runtime_object=opaque_target, provenance=None),
+        PointerParam("p1", runtime_object=objects[0], provenance=objects[0]),
+    ]
+    bases = objects + params
+
+    b = RegionBuilder("prop")
+    x = b.input("x")
+    values = [x]
+    n_mem = draw(st.integers(min_value=2, max_value=8))
+    for _ in range(n_mem):
+        base = draw(st.sampled_from(bases))
+        offset = draw(affine_exprs())
+        width = draw(st.sampled_from([4, 8]))
+        if draw(st.booleans()):
+            value = draw(st.sampled_from(values))
+            b.store_addr(AddressExpr(base, offset, width), value=value)
+        else:
+            ld = b.load_addr(AddressExpr(base, offset, width))
+            values.append(ld)
+            if draw(st.booleans()) and len(values) >= 2:
+                values.append(b.add(values[-1], values[-2]))
+    return b.build()
+
+
+@st.composite
+def envs(draw, n: int):
+    out = []
+    for _ in range(n):
+        env = {iv.name: draw(st.integers(0, iv.trip_count - 1)) for iv in IVARS}
+        for s in SYMS:
+            env[s.name] = draw(st.integers(0, 40))
+        out.append(env)
+    return out
+
+
+def _run(graph, backend):
+    engine = DataflowEngine(
+        graph, place_region(graph), MemoryHierarchy(), backend
+    )
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# The correctness contract
+# ---------------------------------------------------------------------------
+
+
+class TestBackendCorrectness:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_nachos_matches_oracle(self, data):
+        graph = data.draw(regions())
+        compile_region(graph)
+        trace = data.draw(envs(3))
+        result = _run(graph, NachosBackend()).run(trace)
+        golden = golden_execute(graph, trace)
+        assert golden.matches(result.load_values, result.memory_image)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_nachos_sw_matches_oracle(self, data):
+        graph = data.draw(regions())
+        compile_region(graph)
+        trace = data.draw(envs(3))
+        result = _run(graph, NachosSWBackend()).run(trace)
+        golden = golden_execute(graph, trace)
+        assert golden.matches(result.load_values, result.memory_image)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_opt_lsq_matches_oracle(self, data):
+        graph = data.draw(regions())
+        graph.clear_mdes()
+        trace = data.draw(envs(3))
+        result = _run(graph, OptLSQBackend()).run(trace)
+        golden = golden_execute(graph, trace)
+        assert golden.matches(result.load_values, result.memory_image)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_spec_lsq_matches_oracle(self, data):
+        from repro.sim import SpecLSQBackend
+
+        graph = data.draw(regions())
+        graph.clear_mdes()
+        trace = data.draw(envs(3))
+        result = _run(graph, SpecLSQBackend()).run(trace)
+        golden = golden_execute(graph, trace)
+        assert golden.matches(result.load_values, result.memory_image)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_serial_mem_matches_oracle(self, data):
+        from repro.sim import SerialMemBackend
+
+        graph = data.draw(regions())
+        graph.clear_mdes()
+        trace = data.draw(envs(3))
+        result = _run(graph, SerialMemBackend()).run(trace)
+        golden = golden_execute(graph, trace)
+        assert golden.matches(result.load_values, result.memory_image)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_engine_is_deterministic(self, data):
+        graph1 = data.draw(regions())
+        trace = data.draw(envs(2))
+        compile_region(graph1)
+        r1 = _run(graph1, NachosBackend()).run(trace)
+        r2 = _run(graph1, NachosBackend()).run(trace)
+        assert r1.cycles == r2.cycles
+        assert r1.load_values == r2.load_values
+        assert r1.total_energy == r2.total_energy
+
+
+# ---------------------------------------------------------------------------
+# Alias label soundness
+# ---------------------------------------------------------------------------
+
+
+def _overlap(a: AddressExpr, b: AddressExpr, env) -> bool:
+    x = a.evaluate(env)
+    y = b.evaluate(env)
+    return x < y + b.width and y < x + a.width
+
+
+def _all_envs():
+    for vi in IVARS[0].domain:
+        for vj in IVARS[1].domain:
+            yield {IVARS[0].name: vi, IVARS[1].name: vj}
+
+
+class TestAliasSoundness:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        oa=affine_exprs(allow_syms=False),
+        ob=affine_exprs(allow_syms=False),
+        wa=st.sampled_from([4, 8]),
+        wb=st.sampled_from([4, 8]),
+        multi=st.booleans(),
+    )
+    def test_compare_offsets_sound(self, oa, ob, wa, wb, multi):
+        """NO => never overlaps; MUST => always overlaps."""
+        obj = MemObject("o", 1 << 16)
+        a = AddressExpr(obj, oa, wa)
+        b = AddressExpr(obj, ob, wb)
+        rel = compare_offsets(a, b, single_iv_only=not multi)
+        overlaps = [_overlap(a, b, env) for env in _all_envs()]
+        if rel.label is AliasLabel.NO:
+            assert not any(overlaps)
+        elif rel.label is AliasLabel.MUST:
+            assert all(overlaps)
+        if rel.exact:
+            assert wa == wb
+            assert all(
+                a.evaluate(env) == b.evaluate(env) for env in _all_envs()
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_pipeline_labels_sound_at_runtime(self, data):
+        """A NO label must never conflict in any concrete invocation."""
+        graph = data.draw(regions())
+        result = compile_region(graph)
+        ops = {op.op_id: op for op in graph.memory_ops}
+        trace = data.draw(envs(3))
+        for (older, younger), label in result.final_labels:
+            if label is not AliasLabel.NO:
+                continue
+            for env in trace:
+                assert not _overlap(ops[older].addr, ops[younger].addr, env)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_stage_refinement_monotone(self, data):
+        graph = data.draw(regions())
+        result = compile_region(graph)
+        for pair, label in result.stage1:
+            if label is not AliasLabel.MAY:
+                assert result.final_labels.get(*pair) is label, pair
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_labels_partition_the_universe(self, data):
+        graph = data.draw(regions())
+        result = compile_region(graph)
+        counts = result.final_labels.counts()
+        assert sum(counts.values()) == result.total_pairs
+
+
+# ---------------------------------------------------------------------------
+# Stage 3 / MDE structural invariants
+# ---------------------------------------------------------------------------
+
+
+class TestEnforcementInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_mdes_are_older_to_younger(self, data):
+        graph = data.draw(regions())
+        result = compile_region(graph)
+        for edge in result.mdes:
+            assert edge.src < edge.dst
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_every_conflicting_pair_is_ordered(self, data):
+        """Each MUST/MAY pair is either an MDE or transitively ordered
+        by data edges + MUST MDEs (the guaranteed-order graph)."""
+        graph = data.draw(regions())
+        result = compile_region(graph)
+        ordered = graph.full_reachability()  # data + installed MDEs
+        for (older, younger), label in result.final_labels:
+            if label is AliasLabel.NO:
+                continue
+            assert younger in ordered[older], (older, younger, label)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_graph_with_mdes_still_validates(self, data):
+        graph = data.draw(regions())
+        compile_region(graph)
+        graph.validate()
+
+
+# ---------------------------------------------------------------------------
+# Symbolic algebra
+# ---------------------------------------------------------------------------
+
+
+class TestAffineAlgebra:
+    @settings(max_examples=100, deadline=None)
+    @given(a=affine_exprs(), b=affine_exprs(), env_seed=st.integers(0, 5))
+    def test_addition_commutes_pointwise(self, a, b, env_seed):
+        env = {
+            IVARS[0].name: env_seed,
+            IVARS[1].name: (env_seed * 3) % IVARS[1].trip_count,
+            SYMS[0].name: env_seed + 1,
+            SYMS[1].name: env_seed + 2,
+        }
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+        assert (a + b).evaluate(env) == (b + a).evaluate(env)
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=affine_exprs())
+    def test_self_subtraction_is_zero(self, a):
+        assert (a - a).is_constant
+        assert (a - a).const == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=affine_exprs(allow_syms=False))
+    def test_bounds_contain_all_values(self, a):
+        lo, hi = a.bounds()
+        for env in _all_envs():
+            assert lo <= a.evaluate(env) <= hi

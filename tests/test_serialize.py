@@ -1,0 +1,92 @@
+"""Unit tests for region-graph serialization."""
+
+import json
+
+import pytest
+
+from repro.compiler import compile_region
+from repro.ir.serialize import dump_graph, graph_from_dict, graph_to_dict, load_graph
+from repro.workloads import build_workload, get_spec
+from tests.conftest import build_may_region, build_simple_region
+
+
+def roundtrip(graph):
+    return graph_from_dict(json.loads(json.dumps(graph_to_dict(graph))))
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        g = build_simple_region()
+        g2 = roundtrip(g)
+        assert len(g2) == len(g)
+        assert [op.opcode for op in g2.ops] == [op.opcode for op in g.ops]
+        assert [op.inputs for op in g2.ops] == [op.inputs for op in g.ops]
+
+    def test_addresses_preserved(self):
+        g = build_simple_region()
+        g2 = roundtrip(g)
+        env = {"i": 3}
+        for a, b in zip(g.memory_ops, g2.memory_ops):
+            assert a.addr.evaluate(env) == b.addr.evaluate(env)
+            assert a.addr.width == b.addr.width
+
+    def test_mdes_preserved(self):
+        g = build_may_region()
+        compile_region(g)
+        g2 = roundtrip(g)
+        assert [(e.src, e.dst, e.kind) for e in g2.mdes] == [
+            (e.src, e.dst, e.kind) for e in g.mdes
+        ]
+
+    def test_provenance_survives(self):
+        g = build_may_region()
+        g2 = roundtrip(g)
+        for a, b in zip(g.memory_ops, g2.memory_ops):
+            assert (a.addr.interprocedural_base is None) == (
+                b.addr.interprocedural_base is None
+            )
+
+    def test_object_identity_shared(self):
+        """Two ops on the same array must share one rebuilt object."""
+        g = build_simple_region()
+        g2 = roundtrip(g)
+        ld1, ld2, st = g2.memory_ops
+        assert ld1.addr.runtime_base.uid == st.addr.runtime_base.uid
+        assert ld1.addr.runtime_base.uid != ld2.addr.runtime_base.uid
+
+    def test_pipeline_labels_identical(self):
+        g = build_may_region()
+        result1 = compile_region(g)
+        g2 = roundtrip(g)
+        g2.clear_mdes()
+        result2 = compile_region(g2)
+        c1 = {k.value: v for k, v in result1.final_labels.counts().items()}
+        c2 = {k.value: v for k, v in result2.final_labels.counts().items()}
+        assert c1 == c2
+        assert len(result1.mdes) == len(result2.mdes)
+
+    def test_suite_workload_roundtrip(self):
+        w = build_workload(get_spec("parser"))
+        g2 = roundtrip(w.graph)
+        env = w.invocations(1)[0]
+        for a, b in zip(w.graph.memory_ops, g2.memory_ops):
+            assert a.addr.evaluate(env) == b.addr.evaluate(env)
+
+    def test_file_round_trip(self, tmp_path):
+        g = build_simple_region()
+        path = tmp_path / "region.json"
+        dump_graph(g, str(path))
+        g2 = load_graph(str(path))
+        assert len(g2) == len(g)
+        assert g2.name == g.name
+
+    def test_simulation_agrees_after_reload(self):
+        from repro.sim import golden_execute
+
+        g = build_simple_region()
+        g2 = roundtrip(g)
+        envs = [{"i": k} for k in range(4)]
+        r1 = golden_execute(g, envs)
+        r2 = golden_execute(g2, envs)
+        assert r1.load_values == r2.load_values
+        assert r1.memory_image == r2.memory_image

@@ -1,0 +1,212 @@
+"""Unit tests for the speculative (out-of-order issue) LSQ baseline."""
+
+import pytest
+
+from repro.cgra.placement import place_region
+from repro.compiler import compile_region
+from repro.ir import (
+    AffineExpr,
+    IVar,
+    MemObject,
+    PointerParam,
+    RegionBuilder,
+    Sym,
+)
+from repro.memory import MemoryHierarchy
+from repro.sim import (
+    DataflowEngine,
+    OptLSQBackend,
+    SpecLSQBackend,
+    SpecLSQConfig,
+    golden_execute,
+)
+from repro.sim.backends.spec_lsq import StoreSetPredictor
+
+
+def run(graph, backend, envs):
+    engine = DataflowEngine(graph, place_region(graph), MemoryHierarchy(), backend)
+    return engine.run(envs), engine
+
+
+def slow_store_region(conflict: bool):
+    """A store whose address resolves *late* plus an early, fast load.
+
+    The store's address hangs behind a long FP chain; the load's address
+    is ready immediately.  An in-order LSQ stalls the load; SPEC-LSQ
+    speculates past it.  ``conflict`` controls whether the late store
+    actually hits the load's address.
+    """
+    arr = MemObject("arr", 8192, base_addr=0x1000)
+    s = Sym("slow")
+    b = RegionBuilder("specload")
+    x = b.input("x")
+    prev = x
+    for _ in range(12):
+        prev = b.fdiv(prev, x)  # ~144 cycles of address delay
+    gep = b.gep(prev)
+    st = b.store(arr, AffineExpr.of(syms={s: 8}), value=x, inputs=[gep])
+    ld = b.load(arr, AffineExpr.constant(0))
+    tail = b.add(ld, x)
+    g = b.build()
+    env = {"slow": 0 if conflict else 64}
+    return g, env, st, ld
+
+
+class TestStoreSetPredictor:
+    def test_untrained_predicts_independence(self):
+        p = StoreSetPredictor()
+        assert not p.predicts_dependence(1, 2)
+
+    def test_training_is_sticky(self):
+        p = StoreSetPredictor()
+        p.train(1, 2)
+        assert p.predicts_dependence(1, 2)
+        assert not p.predicts_dependence(1, 3)
+        assert len(p) == 1
+
+    def test_training_idempotent(self):
+        p = StoreSetPredictor()
+        p.train(1, 2)
+        p.train(1, 2)
+        assert p.trainings == 1
+
+
+class TestSpeculation:
+    def test_speculates_past_slow_independent_store(self):
+        g, env, st, ld = slow_store_region(conflict=False)
+        result, _ = run(g, SpecLSQBackend(), [env])
+        assert result.backend_stats.speculations == 1
+        assert result.backend_stats.violations == 0
+        golden = golden_execute(g, [env])
+        assert golden.matches(result.load_values, result.memory_image)
+
+    def test_speculation_beats_in_order_issue(self):
+        g1, env, *_ = slow_store_region(conflict=False)
+        spec_result, _ = run(g1, SpecLSQBackend(), [env])
+        g2, env2, *_ = slow_store_region(conflict=False)
+        g2.clear_mdes()
+        opt_result, _ = run(g2, OptLSQBackend(), [env2])
+        # The load's consumers no longer wait ~144 cycles for the store
+        # address; total cycles shrink. (Both regions end with the slow
+        # store, so compare the load's completion indirectly via energy
+        # ordering-free check: cycles must not be worse.)
+        assert spec_result.cycles <= opt_result.cycles
+
+    def test_violation_detected_replayed_and_correct(self):
+        g, env, st, ld = slow_store_region(conflict=True)
+        backend = SpecLSQBackend()
+        result, _ = run(g, backend, [env])
+        assert result.backend_stats.speculations == 1
+        assert result.backend_stats.violations == 1
+        assert result.backend_stats.replays == 1
+        golden = golden_execute(g, [env])
+        assert golden.matches(result.load_values, result.memory_image)
+
+    def test_predictor_prevents_repeat_violation(self):
+        g, env, st, ld = slow_store_region(conflict=True)
+        backend = SpecLSQBackend()
+        result, _ = run(g, backend, [env, env, env])
+        # Violates once, learns, then waits instead of speculating.
+        assert result.backend_stats.violations == 1
+        assert result.backend_stats.speculations == 1
+        golden = golden_execute(g, [env, env, env])
+        assert golden.matches(result.load_values, result.memory_image)
+
+    def test_misprediction_rate(self):
+        g, env, *_ = slow_store_region(conflict=True)
+        result, _ = run(g, SpecLSQBackend(), [env])
+        assert result.backend_stats.misprediction_rate == 1.0
+
+    def test_replay_penalty_configurable(self):
+        g1, env, *_ = slow_store_region(conflict=True)
+        cheap, _ = run(g1, SpecLSQBackend(SpecLSQConfig(replay_penalty=1)), [env])
+        g2, env2, *_ = slow_store_region(conflict=True)
+        dear, _ = run(g2, SpecLSQBackend(SpecLSQConfig(replay_penalty=64)), [env2])
+        assert dear.cycles > cheap.cycles
+
+
+class TestSpecLSQOrdering:
+    def test_exact_forwarding_still_works(self):
+        arr = MemObject("a", 4096, base_addr=0x1000)
+        iv = IVar("i", 16)
+        b = RegionBuilder()
+        x = b.input("x")
+        st = b.store(arr, AffineExpr.of(ivs={iv: 8}), value=x)
+        ld = b.load(arr, AffineExpr.of(ivs={iv: 8}))
+        g = b.build()
+        result, _ = run(g, SpecLSQBackend(), [{"i": 2}])
+        assert result.backend_stats.lsq_forwards == 1
+        golden = golden_execute(g, [{"i": 2}])
+        assert golden.matches(result.load_values, result.memory_image)
+
+    def test_store_never_speculates(self):
+        """An older load with a late address gates a younger store."""
+        arr = MemObject("a", 4096, base_addr=0x1000)
+        s = Sym("late")
+        b = RegionBuilder()
+        x = b.input("x")
+        prev = x
+        for _ in range(8):
+            prev = b.fdiv(prev, x)
+        gep = b.gep(prev)
+        ld = b.load(arr, AffineExpr.of(syms={s: 8}), inputs=[gep])
+        st = b.store(arr, AffineExpr.constant(0), value=x)
+        g = b.build()
+        for slot in (0, 8):  # conflicting and non-conflicting
+            envs = [{"late": slot}]
+            result, _ = run(g, SpecLSQBackend(), envs)
+            golden = golden_execute(g, envs)
+            assert golden.matches(result.load_values, result.memory_image)
+
+    def test_st_st_same_address_ordered(self):
+        arr = MemObject("a", 4096, base_addr=0x1000)
+        b = RegionBuilder()
+        x, y = b.input("x"), b.input("y")
+        b.store(arr, AffineExpr.constant(0), value=x)
+        b.store(arr, AffineExpr.constant(0), value=y)
+        g = b.build()
+        result, _ = run(g, SpecLSQBackend(), [{}])
+        golden = golden_execute(g, [{}])
+        assert golden.matches(result.load_values, result.memory_image)
+
+    def test_suite_sample_correct(self):
+        from repro.workloads import build_workload, get_spec
+
+        for name in ("histogram", "bzip2", "soplex"):
+            w = build_workload(get_spec(name))
+            w.graph.clear_mdes()
+            envs = w.invocations(8)
+            result, _ = run(w.graph, SpecLSQBackend(), envs)
+            golden = golden_execute(w.graph, envs)
+            assert golden.matches(result.load_values, result.memory_image), name
+
+
+class TestComparatorPool:
+    def test_more_comparators_reduce_contention(self):
+        from repro.ir import Sym
+        from repro.sim import NachosBackend
+
+        def fan_in_region():
+            tab = MemObject("tab", 65536, base_addr=0x2000)
+            b = RegionBuilder()
+            x = b.input("x")
+            for k in range(12):
+                b.store(tab, AffineExpr.of(syms={Sym(f"s{k}"): 8}), value=x)
+            ld = b.load(tab, AffineExpr.of(syms={Sym("sl"): 8}))
+            g = b.build()
+            compile_region(g)
+            return g
+
+        env = {f"s{k}": k for k in range(12)} | {"sl": 100}
+        g1 = fan_in_region()
+        one, _ = run(g1, NachosBackend(comparators_per_fu=1), [env])
+        g4 = fan_in_region()
+        four, _ = run(g4, NachosBackend(comparators_per_fu=4), [env])
+        assert four.cycles <= one.cycles
+        assert four.backend_stats.comparator_checks == one.backend_stats.comparator_checks
+
+    def test_invalid_comparator_count(self):
+        from repro.sim import NachosBackend
+
+        with pytest.raises(ValueError):
+            NachosBackend(comparators_per_fu=0)

@@ -1,0 +1,100 @@
+"""Tests for region splitting."""
+
+import pytest
+
+from repro.compiler import compile_region
+from repro.ir import AffineExpr, IVar, MemObject, Opcode, RegionBuilder
+from repro.programs.split import split_region
+from repro.workloads import build_workload, get_spec
+from tests.conftest import build_simple_region, make_engine
+
+
+def big_region(n_chain: int = 40):
+    a = MemObject("a", 1 << 16, base_addr=0x10000)
+    iv = IVar("i", 64)
+    b = RegionBuilder("big")
+    x = b.input("x")
+    prev = x
+    for k in range(n_chain):
+        if k % 5 == 0:
+            ld = b.load(a, AffineExpr.of(const=k * 512, ivs={iv: 8}))
+            prev = b.add(prev, ld)
+        else:
+            prev = b.add(prev, x)
+    st = b.store(a, AffineExpr.of(const=60000, ivs={iv: 8}), value=prev)
+    return b.build()
+
+
+class TestSplitStructure:
+    def test_small_region_unsplit(self):
+        g = build_simple_region()
+        chunks = split_region(g, max_ops=100)
+        assert len(chunks) == 1
+        assert chunks[0].graph is g
+
+    def test_chunk_sizes_bounded(self):
+        g = big_region()
+        chunks = split_region(g, max_ops=12)
+        assert len(chunks) > 1
+        for chunk in chunks:
+            assert len(chunk.graph) <= 12
+
+    def test_every_original_op_appears_once(self):
+        g = big_region()
+        chunks = split_region(g, max_ops=12)
+        total_real_ops = sum(
+            sum(1 for op in c.graph.ops if op.op_id not in c.imports.values())
+            for c in chunks
+        )
+        assert total_real_ops == len(g)
+
+    def test_imports_cover_crossing_values(self):
+        g = big_region()
+        chunks = split_region(g, max_ops=12)
+        # Every chunk after the first imports the running accumulator.
+        for chunk in chunks[1:]:
+            assert chunk.imports
+
+    def test_chunks_validate_and_are_program_ordered(self):
+        g = big_region()
+        for chunk in split_region(g, max_ops=15):
+            chunk.graph.validate()
+
+    def test_intra_chunk_mdes_preserved(self):
+        g = build_simple_region()
+        compile_region(g)
+        # Force everything into one chunk: MDEs survive verbatim.
+        chunks = split_region(g, max_ops=len(g))
+        assert len(chunks[0].graph.mdes) == len(g.mdes)
+
+    def test_invalid_max_ops(self):
+        with pytest.raises(ValueError):
+            split_region(build_simple_region(), max_ops=1)
+
+
+class TestSplitExecution:
+    def test_each_chunk_simulates_correctly(self):
+        from repro.sim import golden_execute
+
+        g = big_region()
+        for chunk in split_region(g, max_ops=16):
+            compile_region(chunk.graph)
+            engine = make_engine(chunk.graph, "nachos")
+            envs = [{"i": k} for k in range(3)]
+            result = engine.run(envs)
+            golden = golden_execute(chunk.graph, envs)
+            assert golden.matches(result.load_values, result.memory_image)
+
+    def test_oversized_suite_region_fits_small_grid(self):
+        from repro.cgra import CGRAConfig
+        from repro.cgra.placement import place_region
+
+        w = build_workload(get_spec("equake"))  # 559 ops
+        small = CGRAConfig(rows=16, cols=16)    # capacity 256
+        with pytest.raises(ValueError):
+            place_region(w.graph, small)
+        chunks = split_region(w.graph, max_ops=small.capacity)
+        assert len(chunks) >= 3
+        for chunk in chunks:
+            placement = place_region(chunk.graph, small)
+            assert placement.used_cells == len(chunk.graph)

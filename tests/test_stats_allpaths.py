@@ -1,0 +1,66 @@
+"""Tests for the statistics helpers and the all-paths extension."""
+
+import pytest
+
+from repro.analysis.stats import geomean, mean, percentile, weighted_mean
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_geomean(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+        assert geomean([5]) == pytest.approx(5.0)
+        assert geomean([]) == 0.0
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1, 0])
+        with pytest.raises(ValueError):
+            geomean([-1])
+
+    def test_weighted_mean(self):
+        assert weighted_mean([10, 20], [1, 3]) == pytest.approx(17.5)
+        assert weighted_mean([5], [0]) == 0.0
+
+    def test_weighted_mean_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1], [1, 2])
+
+    def test_percentile(self):
+        data = [1, 2, 3, 4, 5]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 50) == 3
+        assert percentile(data, 100) == 5
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestAllPaths:
+    def test_small_corpus_runs(self):
+        from repro.experiments import allpaths
+
+        result = allpaths.run(invocations=4, top_k=2)
+        assert len(result.rows) == 27
+        assert result.all_correct
+        out = allpaths.render(result)
+        assert "54 regions" in out
+
+    def test_slowdown_group_stable_across_paths(self):
+        from repro.experiments import allpaths
+
+        result = allpaths.run(invocations=4, top_k=2)
+        slow = set(result.slowdown_group)
+        assert {"soplex", "povray", "fft-2d"} <= slow
+
+    def test_nachos_weighted_tracks_lsq(self):
+        from repro.experiments import allpaths
+
+        result = allpaths.run(invocations=4, top_k=2)
+        assert max(r.nachos_weighted_pct for r in result.rows) < 15.0

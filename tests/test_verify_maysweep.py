@@ -1,0 +1,111 @@
+"""Tests for the enforcement verifier and the MAY-sweep experiment."""
+
+import pytest
+
+from repro.compiler import (
+    AliasLabel,
+    compile_region,
+    verify_enforcement,
+)
+from repro.ir import MDEKind, MemoryDependencyEdge
+from repro.workloads import build_workload, get_spec
+from tests.conftest import build_may_region, build_simple_region
+
+
+class TestVerifyEnforcement:
+    def test_pipeline_output_always_verifies(self):
+        for build in (build_simple_region, build_may_region):
+            g = build()
+            result = compile_region(g)
+            assert verify_enforcement(g, result.final_labels) == []
+
+    def test_suite_regions_verify(self):
+        for name in ("histogram", "bzip2", "povray", "equake"):
+            w = build_workload(get_spec(name))
+            w.graph.clear_mdes()
+            result = compile_region(w.graph)
+            assert verify_enforcement(w.graph, result.final_labels) == [], name
+
+    def test_detects_removed_may_edge(self):
+        g = build_may_region()
+        result = compile_region(g)
+        may_edges = [e for e in g.mdes if e.kind is MDEKind.MAY]
+        assert may_edges, "fixture must produce MAY edges"
+        # Sabotage: drop one MAY edge.
+        g.replace_mdes([e for e in g.mdes if e is not may_edges[0]])
+        violations = verify_enforcement(g, result.final_labels)
+        assert any(
+            v.older == may_edges[0].src and v.younger == may_edges[0].dst
+            for v in violations
+        )
+
+    def test_detects_removed_order_edge(self):
+        from repro.ir import AffineExpr, MemObject, RegionBuilder
+
+        a = MemObject("a", 4096, base_addr=0x1000)
+        b = RegionBuilder()
+        x = b.input("x")
+        st = b.store(a, AffineExpr.constant(0), value=x)
+        ld = b.load(a, AffineExpr.constant(4), width=8)  # partial MUST
+        g = b.build()
+        result = compile_region(g)
+        assert verify_enforcement(g, result.final_labels) == []
+        g.clear_mdes()
+        violations = verify_enforcement(g, result.final_labels)
+        assert len(violations) == 1
+        assert violations[0].label is AliasLabel.MUST
+
+    def test_may_chain_does_not_satisfy_transitive_pair(self):
+        """A MAY chain a->b->c must NOT verify a MAY(a, c) pair."""
+        from repro.ir import AffineExpr, MemObject, PointerParam, RegionBuilder
+
+        objs = [MemObject(f"t{k}", 4096, base_addr=0x1000 * (k + 1)) for k in range(3)]
+        b = RegionBuilder()
+        x = b.input("x")
+        sids = []
+        for k in range(3):
+            p = PointerParam(f"p{k}", runtime_object=objs[k])
+            sids.append(b.store(p, AffineExpr.constant(0), value=x).op_id)
+        g = b.build()
+        result = compile_region(g, )
+        # Sabotage: keep only the chain edges, drop the (0,2) edge.
+        chain = [
+            e for e in g.mdes
+            if (e.src, e.dst) in {(sids[0], sids[1]), (sids[1], sids[2])}
+        ]
+        g.replace_mdes(chain)
+        violations = verify_enforcement(g, result.final_labels)
+        assert any(
+            (v.older, v.younger) == (sids[0], sids[2]) for v in violations
+        )
+
+    def test_forward_edge_counts_as_ordering(self):
+        from repro.ir import AffineExpr, MemObject, RegionBuilder
+
+        a = MemObject("a", 4096, base_addr=0x1000)
+        b = RegionBuilder()
+        x = b.input("x")
+        b.store(a, AffineExpr.constant(0), value=x)
+        b.load(a, AffineExpr.constant(0))
+        g = b.build()
+        result = compile_region(g)
+        assert any(e.kind is MDEKind.FORWARD for e in g.mdes)
+        assert verify_enforcement(g, result.final_labels) == []
+
+
+class TestMaySweep:
+    def test_sweep_shape(self):
+        from repro.experiments import may_sweep
+
+        result = may_sweep.run(invocations=8, fractions=(0.0, 0.5, 1.0))
+        assert result.all_correct
+        assert len(result.points) == 3
+        # %MAY pairs grows with the opaque fraction.
+        mays = [p.pct_may_pairs for p in result.points]
+        assert mays[0] == 0.0
+        assert mays == sorted(mays)
+        # Software-only slowdown explodes; NACHOS stays flat.
+        assert result.points[-1].sw_slowdown_pct > 50.0
+        assert abs(result.points[-1].nachos_slowdown_pct) < 10.0
+        assert result.points[0].may_mdes == 0
+        assert "MAY sweep" in may_sweep.render(result)

@@ -1,0 +1,187 @@
+"""Unit tests for the workload specs, generator, and suite."""
+
+import pytest
+
+from repro.compiler import AliasLabel, compile_region
+from repro.workloads import (
+    SUITE,
+    BenchmarkSpec,
+    Mechanism,
+    benchmark_names,
+    build_workload,
+    get_spec,
+)
+from repro.workloads.generator import PATH_SCALES, PATH_WEIGHTS
+
+
+class TestSpecSchema:
+    def test_suite_has_27_benchmarks(self):
+        assert len(SUITE) == 27
+
+    def test_names_unique(self):
+        names = benchmark_names()
+        assert len(names) == len(set(names))
+
+    def test_get_spec_roundtrip(self):
+        for name in benchmark_names():
+            assert get_spec(name).name == name
+
+    def test_get_spec_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("no-such-benchmark")
+
+    def test_mem_never_exceeds_ops(self):
+        for spec in SUITE:
+            assert spec.n_mem <= spec.n_ops
+
+    def test_mechanism_mix_sums_to_one(self):
+        for spec in SUITE:
+            if spec.n_mem:
+                assert sum(spec.mechanism_mix.values()) == pytest.approx(1.0)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="bad", suite="x", n_ops=4, n_mem=8, mlp=2)
+        with pytest.raises(ValueError):
+            BenchmarkSpec(
+                name="bad", suite="x", n_ops=8, n_mem=4, mlp=2,
+                mechanism_mix={Mechanism.DISTINCT: 0.5},
+            )
+
+    def test_n_local_capped(self):
+        spec = get_spec("povray")  # pct_local=95 would explode uncapped
+        assert spec.n_local <= spec.n_ops // 4 + 2
+
+    def test_mechanism_counts_partition(self):
+        spec = get_spec("parser")
+        counts = spec.mechanism_counts(20)
+        assert sum(counts.values()) == 20
+        assert all(v >= 0 for v in counts.values())
+
+    def test_suites_covered(self):
+        suites = {s.suite for s in SUITE}
+        assert suites == {"spec2000", "spec2006", "parsec"}
+
+
+class TestGenerator:
+    def test_deterministic_across_builds(self):
+        w1 = build_workload(get_spec("parser"))
+        w2 = build_workload(get_spec("parser"))
+        assert len(w1.graph) == len(w2.graph)
+        assert [op.opcode for op in w1.graph.ops] == [op.opcode for op in w2.graph.ops]
+        assert w1.invocations(5) == w2.invocations(5)
+
+    def test_path_scaling_shrinks_regions(self):
+        spec = get_spec("equake")
+        sizes = [len(build_workload(spec, k).graph) for k in range(5)]
+        assert sizes[0] > sizes[-1]
+
+    def test_op_count_near_spec(self):
+        for name in ["equake", "parser", "histogram", "bzip2"]:
+            spec = get_spec(name)
+            w = build_workload(spec)
+            assert abs(len(w.raw_graph) - spec.n_ops) <= max(8, spec.n_ops // 4)
+
+    def test_mem_count_near_spec(self):
+        for name in ["equake", "soplex", "fft-2d"]:
+            spec = get_spec(name)
+            w = build_workload(spec)
+            assert abs(len(w.graph.memory_ops) - spec.n_mem) <= max(
+                4, spec.n_mem // 4
+            )
+
+    def test_zero_mem_specs_have_no_memory_ops(self):
+        for name in ["blackscholes", "ferret"]:
+            w = build_workload(get_spec(name))
+            assert len(w.graph.memory_ops) == 0
+
+    def test_promotion_happened(self):
+        w = build_workload(get_spec("crafty"))  # pct_local=40
+        assert w.n_promoted > 0
+        # promoted ops are not memory ops anymore
+        from repro.ir.opcodes import Opcode
+
+        spads = [
+            op for op in w.graph.ops
+            if op.opcode in (Opcode.SPAD_LOAD, Opcode.SPAD_STORE)
+        ]
+        assert len(spads) == w.n_promoted
+
+    def test_envs_bind_every_variable(self):
+        for name in ["histogram", "equake", "bzip2"]:
+            w = build_workload(get_spec(name))
+            env = w.invocations(1)[0]
+            for op in w.graph.memory_ops:
+                op.addr.evaluate(env)  # must not raise
+
+    def test_objects_do_not_overlap(self):
+        w = build_workload(get_spec("soplex"))
+        ranges = []
+        for op in w.graph.memory_ops:
+            base = op.addr.runtime_base
+            ranges.append((base.base_addr, base.base_addr + base.size, base.uid))
+        ranges = sorted(set(ranges))
+        for (s1, e1, u1), (s2, e2, u2) in zip(ranges, ranges[1:]):
+            if u1 != u2:
+                assert e1 <= s2, "distinct objects must not overlap"
+
+    def test_store_fraction_tracks_spec(self):
+        spec = get_spec("histogram")  # store_frac=0.5
+        w = build_workload(spec)
+        mem = w.graph.memory_ops
+        frac = sum(1 for op in mem if op.is_store) / len(mem)
+        assert abs(frac - spec.store_frac) < 0.25
+
+    def test_path_constants(self):
+        assert len(PATH_SCALES) == len(PATH_WEIGHTS) == 5
+        assert abs(sum(PATH_WEIGHTS) - 1.0) < 1e-9
+        assert sorted(PATH_SCALES, reverse=True) == list(PATH_SCALES)
+
+
+class TestNarrativeShapes:
+    """The per-benchmark stories the suite encodes (paper Section V/VIII)."""
+
+    def test_stage1_perfect_benchmarks(self):
+        for name in ["gzip", "181.mcf", "429.mcf", "crafty", "sjeng", "sphinx3"]:
+            w = build_workload(get_spec(name))
+            result = compile_region(w.graph)
+            assert result.final_labels.count(AliasLabel.MAY) == 0, name
+
+    def test_stage4_benchmarks_fully_resolved(self):
+        for name in ["equake", "lbm", "namd", "dwt53", "bodytrack"]:
+            w = build_workload(get_spec(name))
+            result = compile_region(w.graph)
+            assert result.final_labels.count(AliasLabel.MAY) == 0, name
+
+    def test_stage4_benchmarks_have_stage1_mays(self):
+        for name in ["equake", "lbm"]:
+            w = build_workload(get_spec(name))
+            result = compile_region(w.graph)
+            assert result.stage1.count(AliasLabel.MAY) > 0, name
+
+    def test_may_heavy_benchmarks_keep_mays(self):
+        for name in ["bzip2", "soplex", "povray", "fft-2d", "histogram"]:
+            w = build_workload(get_spec(name))
+            result = compile_region(w.graph)
+            assert len(result.may_mdes) > 0, name
+
+    def test_stage2_benchmarks_refined(self):
+        for name in ["parser", "fluidanimate", "464.h264ref"]:
+            w = build_workload(get_spec(name))
+            result = compile_region(w.graph)
+            s1_may = result.stage1.count(AliasLabel.MAY)
+            s2_may = result.stage2.count(AliasLabel.MAY)
+            assert s2_may < s1_may, name
+
+    def test_bzip2_has_high_fan_in(self):
+        w = build_workload(get_spec("bzip2"))
+        result = compile_region(w.graph)
+        fan = result.may_fan_in()
+        assert max(fan.values()) >= 20
+
+    def test_forwarding_benchmark_has_forward_edges(self):
+        from repro.ir import MDEKind
+
+        w = build_workload(get_spec("bodytrack"))
+        result = compile_region(w.graph)
+        assert any(e.kind is MDEKind.FORWARD for e in result.mdes)
