@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Measure the sweep runner: cold vs warm cache, serial vs parallel.
+
+Runs the experiment sweep in subprocesses against an isolated cache
+directory (so timings never mix with the user's ``~/.cache``), verifies
+that the warm run's rendered output is byte-identical to the cold run,
+and writes the wall-clock numbers to ``BENCH_sweep.json``.
+
+Modes::
+
+    python benchmarks/bench_sweep.py                # full: nachos-repro all
+    python benchmarks/bench_sweep.py --quick        # CI smoke: 2 regions x 3 systems
+    python benchmarks/bench_sweep.py --jobs 4       # fan the sweep across workers
+
+The ``--quick`` smoke sweep is what CI runs on every push: two micro
+regions through all three paper systems, parallel, cache on, then a
+warm re-run that must be 100% cache-served and identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Wall clock of ``nachos-repro all`` at the pre-cache seed commit,
+#: measured on the same class of container this harness targets.  The
+#: acceptance bar is warm-cache >= 3x faster than this serial baseline.
+SEED_SERIAL_SECONDS = 200.9
+
+_TIMING_LINE = re.compile(r"^\[(?:[a-z0-9_-]+: [0-9.]+s|cache: .*)\]$")
+
+
+def _child_env(cache_dir: Path, jobs: int) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["NACHOS_CACHE_DIR"] = str(cache_dir)
+    env["NACHOS_JOBS"] = str(jobs)
+    return env
+
+
+def _strip_timing(output: str) -> str:
+    """Drop per-experiment timing and cache-counter lines before diffing."""
+    return "\n".join(
+        line for line in output.splitlines() if not _TIMING_LINE.match(line)
+    )
+
+
+def _timed_run(cmd, env) -> tuple:
+    start = time.perf_counter()
+    proc = subprocess.run(
+        cmd, env=env, cwd=REPO_ROOT, capture_output=True, text=True
+    )
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"child failed ({proc.returncode}): {' '.join(cmd)}")
+    return elapsed, proc.stdout
+
+
+def _cache_stats(cache_dir: Path) -> dict:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.runtime.cache import ResultCache
+
+    stats = ResultCache(root=cache_dir).stats()
+    return {
+        "entries": stats["entries"],
+        "bytes": stats["bytes"],
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+    }
+
+
+def _smoke_sweep() -> None:
+    """Child body for --quick: 2 regions x 3 systems through the sweep."""
+    from repro.runtime.cache import get_cache
+    from repro.runtime.executor import get_jobs
+    from repro.runtime.sweep import sweep_comparisons
+    from repro.workloads.micro import build_micro
+
+    workloads = [build_micro("stream_triad"), build_micro("scatter")]
+    comparisons = sweep_comparisons(workloads, invocations=8, jobs=get_jobs())
+    for cmp in comparisons:
+        for system, run in cmp.runs.items():
+            print(
+                f"{cmp.workload.name:>16} {system:<9} "
+                f"cycles={run.sim.cycles} energy={run.sim.total_energy:.1f} "
+                f"ok={run.correct}"
+            )
+    cache = get_cache()
+    print(f"[cache: {cache.hits} hits, {cache.misses} misses]")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sweep")
+    parser.add_argument("--jobs", type=int, default=1, help="sweep parallelism")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_sweep.json"))
+    parser.add_argument(
+        "--keep-cache", action="store_true", help="keep the bench cache dir"
+    )
+    parser.add_argument("--child-quick", action="store_true", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child_quick:
+        _smoke_sweep()
+        return 0
+
+    cache_dir = Path(tempfile.mkdtemp(prefix="nachos-bench-cache-"))
+    try:
+        if args.quick:
+            cmd = [sys.executable, str(Path(__file__).resolve()), "--child-quick"]
+        else:
+            cmd = [sys.executable, "-m", "repro.experiments.cli", "all"]
+        env = _child_env(cache_dir, args.jobs)
+
+        print(f"[cold run: jobs={args.jobs}, cache={cache_dir}]")
+        cold_s, cold_out = _timed_run(cmd, env)
+        print(f"[cold: {cold_s:.1f}s]")
+
+        print("[warm run: same cache]")
+        warm_s, warm_out = _timed_run(cmd, env)
+        print(f"[warm: {warm_s:.1f}s]")
+
+        identical = _strip_timing(cold_out) == _strip_timing(warm_out)
+        stats = _cache_stats(cache_dir)
+        report = {
+            "mode": "quick" if args.quick else "full",
+            "jobs": args.jobs,
+            "seed_serial_seconds": None if args.quick else SEED_SERIAL_SECONDS,
+            "cold_seconds": round(cold_s, 2),
+            "warm_seconds": round(warm_s, 2),
+            "warm_speedup_vs_cold": round(cold_s / warm_s, 2),
+            "warm_speedup_vs_seed": (
+                None if args.quick else round(SEED_SERIAL_SECONDS / warm_s, 2)
+            ),
+            "cold_speedup_vs_seed": (
+                None if args.quick else round(SEED_SERIAL_SECONDS / cold_s, 2)
+            ),
+            "outputs_identical_cold_vs_warm": identical,
+            "cache": stats,
+        }
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(report, indent=2))
+        if not identical:
+            print("FAIL: warm output differs from cold output", file=sys.stderr)
+            return 1
+        if not args.quick and SEED_SERIAL_SECONDS / warm_s < 3.0:
+            print("FAIL: warm sweep is not >= 3x the seed baseline", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        if args.keep_cache:
+            print(f"[cache kept at {cache_dir}]")
+        else:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,15 @@ import pytest
 BENCH_INVOCATIONS = 24
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Benchmarks measure this session's compute, not the user's cache."""
+    from repro.runtime.cache import configure_cache
+
+    configure_cache(root=tmp_path_factory.mktemp("nachos-cache"), enabled=True)
+    yield
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

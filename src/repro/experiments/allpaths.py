@@ -14,8 +14,8 @@ from typing import Dict, List
 
 from repro.analysis.stats import weighted_mean
 from repro.analysis.tables import ascii_table
-from repro.experiments.common import compare_systems
 from repro.experiments.regions import workload_for
+from repro.runtime.sweep import sweep_comparisons
 from repro.workloads.generator import PATH_WEIGHTS
 from repro.workloads.suite import SUITE
 
@@ -44,17 +44,16 @@ class AllPathsResult:
 
 
 def run(invocations: int = 16, top_k: int = 5) -> AllPathsResult:
+    workloads = [
+        workload_for(spec, k) for spec in SUITE for k in range(top_k)
+    ]
+    comparisons = sweep_comparisons(workloads, invocations=invocations)
     rows: List[AllPathsRow] = []
-    for spec in SUITE:
-        sw_pcts: List[float] = []
-        nachos_pcts: List[float] = []
-        correct = True
-        for k in range(top_k):
-            workload = workload_for(spec, k)
-            cmp = compare_systems(workload, invocations=invocations)
-            sw_pcts.append(cmp.slowdown_pct("nachos-sw"))
-            nachos_pcts.append(cmp.slowdown_pct("nachos"))
-            correct = correct and cmp.all_correct
+    for i, spec in enumerate(SUITE):
+        per_spec = comparisons[i * top_k : (i + 1) * top_k]
+        sw_pcts = [cmp.slowdown_pct("nachos-sw") for cmp in per_spec]
+        nachos_pcts = [cmp.slowdown_pct("nachos") for cmp in per_spec]
+        correct = all(cmp.all_correct for cmp in per_spec)
         weights = list(PATH_WEIGHTS[:top_k])
         rows.append(
             AllPathsRow(

@@ -6,7 +6,11 @@ Usage::
     nachos-repro table2                # one artifact
     nachos-repro fig11 fig15           # several
     nachos-repro all                   # everything
+    nachos-repro all --jobs 4          # fan simulations across processes
     nachos-repro fig11 --invocations 60
+    nachos-repro fig11 --no-cache      # force a cold run
+    nachos-repro cache stats           # hit/miss counters, size
+    nachos-repro cache clear           # drop every cached result
 """
 
 from __future__ import annotations
@@ -14,7 +18,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Dict, Tuple
+
+from repro.runtime.cache import configure_cache, get_cache
+from repro.runtime.executor import set_jobs
 
 from repro.experiments import (
     allpaths,
@@ -97,9 +105,35 @@ def main(argv=None) -> int:
         default=None,
         help="also dump each result as JSON into this directory",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="fan (workload, system) simulations across N processes",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the on-disk result cache (force a cold run)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (default ~/.cache/nachos-repro or $NACHOS_CACHE_DIR)",
+    )
     args = parser.parse_args(argv)
 
+    if args.jobs is not None:
+        set_jobs(args.jobs)
+    if args.no_cache or args.cache_dir:
+        configure_cache(
+            root=Path(args.cache_dir) if args.cache_dir else None,
+            enabled=False if args.no_cache else None,
+        )
+
     names = args.experiments or ["list"]
+    if names and names[0] == "cache":
+        return _cache_command(names[1:])
     if names == ["list"] or names == []:
         print("Available experiments:")
         for name in EXPERIMENTS:
@@ -129,7 +163,38 @@ def main(argv=None) -> int:
         if args.json_dir:
             _write_json(name, result, args.json_dir)
         print()
+
+    cache = get_cache()
+    if cache.enabled and (cache.hits or cache.misses):
+        total = cache.hits + cache.misses
+        print(
+            f"[cache: {cache.hits}/{total} hits this run "
+            f"({100.0 * cache.hits / total:.0f}%)]"
+        )
     return 0
+
+
+def _cache_command(rest) -> int:
+    action = rest[0] if rest else "stats"
+    cache = get_cache()
+    if action == "stats":
+        stats = cache.stats()
+        total = stats["hits"] + stats["misses"]
+        hit_pct = 100.0 * stats["hits"] / total if total else 0.0
+        print(f"cache root: {stats['root']}")
+        print(f"enabled:    {'yes' if stats['enabled'] else 'no'}")
+        print(f"entries:    {stats['entries']}")
+        print(f"size:       {stats['bytes'] / (1024 * 1024):.1f} MiB")
+        print(f"hits:       {stats['hits']}")
+        print(f"misses:     {stats['misses']}")
+        print(f"hit rate:   {hit_pct:.1f}%")
+        return 0
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    print(f"unknown cache action {action!r}; expected 'stats' or 'clear'", file=sys.stderr)
+    return 2
 
 
 def _write_svg(name: str, result, directory: str) -> None:

@@ -13,8 +13,9 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.analysis.tables import ascii_table
-from repro.experiments.common import DEFAULT_INVOCATIONS, compare_systems
+from repro.experiments.common import DEFAULT_INVOCATIONS
 from repro.experiments.regions import workload_for
+from repro.runtime.sweep import sweep_comparisons
 from repro.workloads.suite import SUITE
 
 
@@ -50,12 +51,12 @@ class PerfResult:
 
 
 def run(invocations: int = DEFAULT_INVOCATIONS, system: str = "nachos-sw") -> PerfResult:
+    workloads = [workload_for(spec) for spec in SUITE]
+    comparisons = sweep_comparisons(
+        workloads, systems=("opt-lsq", system), invocations=invocations
+    )
     rows: List[PerfRow] = []
-    for spec in SUITE:
-        workload = workload_for(spec)
-        cmp = compare_systems(
-            workload, invocations=invocations, systems=("opt-lsq", system)
-        )
+    for spec, cmp in zip(SUITE, comparisons):
         rows.append(
             PerfRow(
                 name=spec.name,

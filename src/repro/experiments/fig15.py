@@ -13,8 +13,9 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.analysis.tables import ascii_table
-from repro.experiments.common import DEFAULT_INVOCATIONS, compare_systems
+from repro.experiments.common import DEFAULT_INVOCATIONS
 from repro.experiments.regions import workload_for
+from repro.runtime.sweep import sweep_comparisons
 from repro.workloads.suite import SUITE
 
 
@@ -49,10 +50,10 @@ class Fig15Result:
 
 
 def run(invocations: int = DEFAULT_INVOCATIONS) -> Fig15Result:
+    workloads = [workload_for(spec) for spec in SUITE]
+    comparisons = sweep_comparisons(workloads, invocations=invocations)
     rows: List[Fig15Row] = []
-    for spec in SUITE:
-        workload = workload_for(spec)
-        cmp = compare_systems(workload, invocations=invocations)
+    for spec, cmp in zip(SUITE, comparisons):
         stats = cmp.runs["nachos"].sim.backend_stats
         rows.append(
             Fig15Row(

@@ -14,8 +14,9 @@ from typing import List
 
 from repro.analysis.tables import ascii_table
 from repro.energy.accounting import COMPUTE, L1, MDE
-from repro.experiments.common import DEFAULT_INVOCATIONS, compare_systems
+from repro.experiments.common import DEFAULT_INVOCATIONS
 from repro.experiments.regions import workload_for
+from repro.runtime.sweep import sweep_comparisons
 from repro.workloads.suite import SUITE
 
 
@@ -47,18 +48,18 @@ class Fig17Result:
 
 
 def run(invocations: int = DEFAULT_INVOCATIONS) -> Fig17Result:
+    workloads = [workload_for(spec) for spec in SUITE]
+    comparisons = sweep_comparisons(
+        workloads, systems=("opt-lsq", "nachos"), invocations=invocations,
+        check=False,
+    )
     rows: List[Fig17Row] = []
-    for spec in SUITE:
-        workload = workload_for(spec)
-        cmp = compare_systems(
-            workload, invocations=invocations, systems=("opt-lsq", "nachos"),
-            check=False,
-        )
+    for spec, cmp in zip(SUITE, comparisons):
         nachos = cmp.runs["nachos"].sim
         breakdown = nachos.energy_breakdown
         total = breakdown.total or 1.0
         lsq_total = cmp.energy("opt-lsq") or 1.0
-        graph = workload.graph
+        graph = cmp.workload.graph
         rows.append(
             Fig17Row(
                 name=spec.name,

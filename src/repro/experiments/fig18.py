@@ -16,8 +16,10 @@ from typing import Dict, List, Tuple
 
 from repro.analysis.tables import ascii_table
 from repro.energy.accounting import COMPUTE, L1, LSQ_BLOOM, LSQ_CAM
-from repro.experiments.common import DEFAULT_INVOCATIONS, run_system
+from repro.experiments.common import DEFAULT_INVOCATIONS
 from repro.experiments.regions import workload_for
+from repro.runtime.executor import SimTask
+from repro.runtime.sweep import sweep_runs
 from repro.workloads.suite import SUITE
 
 BLOOM_CLASSES = ("0", "0-10", "10-20", "20+")
@@ -64,10 +66,12 @@ class Fig18Result:
 
 
 def run(invocations: int = DEFAULT_INVOCATIONS) -> Fig18Result:
+    workloads = [workload_for(spec) for spec in SUITE]
+    runs = sweep_runs(
+        [SimTask(w, "opt-lsq", invocations, check=False) for w in workloads]
+    )
     rows: List[Fig18Row] = []
-    for spec in SUITE:
-        workload = workload_for(spec)
-        run_result = run_system(workload, "opt-lsq", invocations=invocations, check=False)
+    for spec, workload, run_result in zip(SUITE, workloads, runs):
         sim = run_result.sim
         breakdown = sim.energy_breakdown
         total = breakdown.total or 1.0

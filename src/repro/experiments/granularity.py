@@ -20,14 +20,12 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.analysis.tables import ascii_table
-from repro.cgra.placement import place_region
-from repro.compiler.pipeline import AliasPipeline, PipelineConfig
 from repro.experiments.common import DEFAULT_INVOCATIONS
 from repro.experiments.regions import workload_for
-from repro.memory import MemoryHierarchy
-from repro.sim import DataflowEngine, NachosBackend, OptLSQBackend
-from repro.sim.backends.serial import SerialMemBackend
+from repro.runtime.sweep import sweep_comparisons
 from repro.workloads.suite import SUITE
+
+GRANULARITY_SYSTEMS = ("serial-mem", "opt-lsq", "nachos")
 
 
 @dataclass
@@ -62,33 +60,22 @@ class GranularityResult:
         return sum(r.serial_slowdown_pct for r in withmem) / len(withmem)
 
 
-def _simulate(workload, backend, envs, use_mdes: bool) -> int:
-    graph = workload.graph
-    if use_mdes:
-        AliasPipeline(PipelineConfig.full()).run(graph)
-    else:
-        graph.clear_mdes()
-    hierarchy = MemoryHierarchy()
-    for env in envs:
-        for op in graph.memory_ops:
-            hierarchy.l2.access(op.addr.evaluate(env), op.is_store)
-    engine = DataflowEngine(graph, place_region(graph), hierarchy, backend)
-    return engine.run(envs).cycles
-
-
 def run(invocations: int = DEFAULT_INVOCATIONS) -> GranularityResult:
+    workloads = [workload_for(spec) for spec in SUITE]
+    comparisons = sweep_comparisons(
+        workloads, systems=GRANULARITY_SYSTEMS, invocations=invocations,
+        check=False,
+    )
     rows: List[GranularityRow] = []
-    for spec in SUITE:
-        workload = workload_for(spec)
-        envs = workload.invocations(invocations)
+    for spec, cmp in zip(SUITE, comparisons):
         rows.append(
             GranularityRow(
                 name=spec.name,
                 mlp=spec.mlp,
-                n_mem=len(workload.graph.memory_ops),
-                serial_cycles=_simulate(workload, SerialMemBackend(), envs, False),
-                lsq_cycles=_simulate(workload, OptLSQBackend(), envs, False),
-                nachos_cycles=_simulate(workload, NachosBackend(), envs, True),
+                n_mem=len(cmp.workload.graph.memory_ops),
+                serial_cycles=cmp.cycles("serial-mem"),
+                lsq_cycles=cmp.cycles("opt-lsq"),
+                nachos_cycles=cmp.cycles("nachos"),
             )
         )
     return GranularityResult(rows=rows)

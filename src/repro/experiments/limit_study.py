@@ -26,13 +26,13 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.analysis.tables import ascii_table
-from repro.cgra.placement import place_region
-from repro.compiler.oracle_labels import compile_with_oracle
-from repro.experiments.common import DEFAULT_INVOCATIONS, run_system
+from repro.experiments.common import DEFAULT_INVOCATIONS
 from repro.experiments.regions import workload_for
-from repro.memory import MemoryHierarchy
-from repro.sim import DataflowEngine, NachosSWBackend, golden_execute
+from repro.runtime.executor import SimTask
+from repro.runtime.sweep import sweep_runs
 from repro.workloads.suite import SUITE
+
+LIMIT_SYSTEMS = ("nachos-sw", "oracle-sw", "nachos")
 
 
 @dataclass
@@ -73,37 +73,26 @@ class LimitResult:
         return [r.name for r in self.rows if r.hardware_gap_pct > 4.0]
 
 
-def _run_oracle_sw(workload, invocations: int):
-    graph = workload.graph
-    envs = workload.invocations(invocations)
-    compile_with_oracle(graph, envs)
-    hierarchy = MemoryHierarchy()
-    for env in envs:
-        for op in graph.memory_ops:
-            hierarchy.l2.access(op.addr.evaluate(env), op.is_store)
-    engine = DataflowEngine(
-        graph, place_region(graph), hierarchy, NachosSWBackend()
-    )
-    sim = engine.run(envs)
-    ok = golden_execute(graph, envs).matches(sim.load_values, sim.memory_image)
-    return sim, ok, len(graph.mdes)
-
-
 def run(invocations: int = DEFAULT_INVOCATIONS) -> LimitResult:
+    workloads = [workload_for(spec) for spec in SUITE]
+    runs = sweep_runs(
+        [
+            SimTask(w, system, invocations)
+            for w in workloads
+            for system in LIMIT_SYSTEMS
+        ]
+    )
     rows: List[LimitRow] = []
-    for spec in SUITE:
-        workload = workload_for(spec)
-        sw = run_system(workload, "nachos-sw", invocations=invocations)
-        hw = run_system(workload, "nachos", invocations=invocations)
-        oracle_sim, oracle_ok, oracle_mdes = _run_oracle_sw(workload, invocations)
+    for i, spec in enumerate(SUITE):
+        sw, oracle, hw = runs[3 * i : 3 * i + 3]
         rows.append(
             LimitRow(
                 name=spec.name,
                 nachos_sw_cycles=sw.sim.cycles,
-                oracle_sw_cycles=oracle_sim.cycles,
+                oracle_sw_cycles=oracle.sim.cycles,
                 nachos_cycles=hw.sim.cycles,
-                oracle_mdes=oracle_mdes,
-                correct=sw.correct and hw.correct and oracle_ok,
+                oracle_mdes=oracle.n_mdes,
+                correct=sw.correct and hw.correct and oracle.correct,
             )
         )
     return LimitResult(rows=rows)

@@ -21,7 +21,7 @@ from typing import Dict, List
 
 from repro.analysis.tables import ascii_table
 from repro.compiler.labels import AliasLabel
-from repro.experiments.common import compare_systems
+from repro.runtime.sweep import sweep_comparisons
 from repro.workloads.generator import build_workload
 from repro.workloads.spec import BenchmarkSpec, Mechanism
 
@@ -74,10 +74,10 @@ def run(
     invocations: int = 20,
     fractions=(0.0, 0.25, 0.5, 0.75, 1.0),
 ) -> MaySweepResult:
+    workloads = [build_workload(_spec(frac)) for frac in fractions]
+    comparisons = sweep_comparisons(workloads, invocations=invocations)
     points: List[SweepPoint] = []
-    for frac in fractions:
-        workload = build_workload(_spec(frac))
-        cmp = compare_systems(workload, invocations=invocations)
+    for frac, cmp in zip(fractions, comparisons):
         pipeline = cmp.runs["nachos"].pipeline
         points.append(
             SweepPoint(

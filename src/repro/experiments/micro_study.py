@@ -13,7 +13,6 @@ from typing import Dict, List
 
 from repro.analysis.tables import ascii_table
 from repro.experiments.common import run_system
-from repro.sim.backends.serial import SerialMemBackend
 from repro.workloads.micro import build_micro, micro_names
 
 SYSTEMS = ("serial-mem", "opt-lsq", "spec-lsq", "nachos-sw", "nachos")
@@ -39,45 +38,19 @@ class MicroStudyResult:
         return all(r.correct for r in self.rows)
 
 
-def _run_serial(workload, invocations: int):
-    # serial-mem is not in experiments.common's registry (it is not one
-    # of the paper's systems); drive it directly.
-    from repro.cgra.placement import place_region
-    from repro.memory import MemoryHierarchy
-    from repro.sim import DataflowEngine, golden_execute
-
-    graph = workload.graph
-    graph.clear_mdes()
-    hierarchy = MemoryHierarchy()
-    envs = workload.invocations(invocations)
-    for env in envs:
-        for op in graph.memory_ops:
-            hierarchy.l2.access(op.addr.evaluate(env), op.is_store)
-    engine = DataflowEngine(
-        graph, place_region(graph), hierarchy, SerialMemBackend()
-    )
-    sim = engine.run(envs)
-    ok = golden_execute(graph, envs).matches(sim.load_values, sim.memory_image)
-    return sim, ok
-
-
 def run(invocations: int = 16) -> MicroStudyResult:
     rows: List[MicroRow] = []
     for name in micro_names():
+        workload = build_micro(name)
         cycles: Dict[str, int] = {}
         correct = True
         may_mdes = 0
         for system in SYSTEMS:
-            workload = build_micro(name)
-            if system == "serial-mem":
-                sim, ok = _run_serial(workload, invocations)
-            else:
-                result = run_system(workload, system, invocations=invocations)
-                sim, ok = result.sim, result.correct
-                if system == "nachos" and result.pipeline is not None:
-                    may_mdes = len(result.pipeline.may_mdes)
-            cycles[system] = sim.cycles
-            correct = correct and ok
+            result = run_system(workload, system, invocations=invocations)
+            if system == "nachos" and result.pipeline is not None:
+                may_mdes = len(result.pipeline.may_mdes)
+            cycles[system] = result.sim.cycles
+            correct = correct and result.correct
         rows.append(
             MicroRow(name=name, cycles=cycles, may_mdes=may_mdes, correct=correct)
         )

@@ -14,9 +14,10 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.analysis.tables import ascii_table
-from repro.experiments.common import run_system
 from repro.experiments.regions import workload_for
 from repro.offload import HostCoreModel, plan_offload
+from repro.runtime.executor import SimTask
+from repro.runtime.sweep import sweep_runs
 from repro.workloads.suite import SUITE
 
 
@@ -48,15 +49,22 @@ class OffloadResult:
 
 def run(invocations: int = 12, top_k: int = 3, system: str = "nachos") -> OffloadResult:
     host = HostCoreModel.paper_default()
+    all_paths = [
+        [workload_for(spec, k) for k in range(top_k)] for spec in SUITE
+    ]
+    runs = sweep_runs(
+        [
+            SimTask(w, system, invocations, check=False)
+            for paths in all_paths
+            for w in paths
+        ]
+    )
     rows: List[OffloadRow] = []
-    for spec in SUITE:
-        paths = [workload_for(spec, k) for k in range(top_k)]
+    for i, spec in enumerate(SUITE):
+        paths = all_paths[i]
         accel_cycles = {}
         accel_energy = {}
-        for workload in paths:
-            run_result = run_system(
-                workload, system, invocations=invocations, check=False
-            )
+        for workload, run_result in zip(paths, runs[i * top_k : (i + 1) * top_k]):
             sim = run_result.sim
             accel_cycles[workload.name] = sim.mean_invocation_cycles
             accel_energy[workload.name] = sim.total_energy / max(1, sim.invocations)

@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.stats import mean
 from repro.analysis.tables import ascii_table
-from repro.experiments.common import compare_systems
+from repro.runtime.sweep import sweep_comparisons
 from repro.workloads.generator import build_workload
 from repro.workloads.suite import get_spec
 
@@ -70,18 +70,18 @@ def run(
     benches: Sequence[str] = DEFAULT_BENCHES,
     seeds: Sequence[int] = DEFAULT_SEEDS,
 ) -> VarianceResult:
+    workloads = [
+        build_workload(get_spec(name), seed=seed)
+        for name in benches
+        for seed in seeds
+    ]
+    comparisons = sweep_comparisons(workloads, invocations=invocations)
     rows: List[VarianceRow] = []
-    for name in benches:
-        spec = get_spec(name)
-        sw: List[float] = []
-        nachos: List[float] = []
-        correct = True
-        for seed in seeds:
-            workload = build_workload(spec, seed=seed)
-            cmp = compare_systems(workload, invocations=invocations)
-            sw.append(cmp.slowdown_pct("nachos-sw"))
-            nachos.append(cmp.slowdown_pct("nachos"))
-            correct = correct and cmp.all_correct
+    for i, name in enumerate(benches):
+        per_bench = comparisons[i * len(seeds) : (i + 1) * len(seeds)]
+        sw = [cmp.slowdown_pct("nachos-sw") for cmp in per_bench]
+        nachos = [cmp.slowdown_pct("nachos") for cmp in per_bench]
+        correct = all(cmp.all_correct for cmp in per_bench)
         rows.append(
             VarianceRow(
                 name=name, sw_samples=sw, nachos_samples=nachos, correct=correct

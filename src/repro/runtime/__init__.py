@@ -1,0 +1,35 @@
+"""Sweep execution runtime: caching, fingerprints, and the process pool.
+
+Import graph note: :mod:`repro.experiments.common` imports the cache and
+fingerprint submodules, and :mod:`repro.runtime.executor` imports
+``run_system`` lazily inside the worker function — keep it that way to
+avoid an import cycle.
+"""
+
+from repro.runtime.cache import ResultCache, configure_cache, get_cache
+from repro.runtime.executor import SimTask, get_jobs, run_tasks, set_jobs
+from repro.runtime.fingerprint import (
+    CACHE_SCHEMA,
+    combine,
+    config_fingerprint,
+    envs_fingerprint,
+    graph_fingerprint,
+)
+from repro.runtime.sweep import sweep_comparisons, sweep_runs
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ResultCache",
+    "SimTask",
+    "combine",
+    "config_fingerprint",
+    "configure_cache",
+    "envs_fingerprint",
+    "get_cache",
+    "get_jobs",
+    "graph_fingerprint",
+    "run_tasks",
+    "set_jobs",
+    "sweep_comparisons",
+    "sweep_runs",
+]

@@ -1,0 +1,215 @@
+"""Content-addressed on-disk result cache.
+
+Entries are pickled Python objects stored under
+``<root>/objects/<key[:2]>/<key>.pkl`` where ``key`` is a sha256 over
+the content fingerprints of everything the result depends on (see
+:mod:`repro.runtime.fingerprint`).  Writes are atomic (tmp + rename),
+so concurrent workers can race on the same key safely — last writer
+wins with identical bytes.
+
+Hit/miss counters accumulate in memory and are merged into
+``<root>/stats.json`` on process exit, which is what
+``nachos-repro cache stats`` reports.
+
+Environment knobs:
+
+* ``NACHOS_CACHE_DIR`` — cache root (default ``~/.cache/nachos-repro``)
+* ``NACHOS_CACHE=off``/``0`` — disable reads and writes entirely
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+_MISS = object()
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("NACHOS_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "nachos-repro"
+
+
+def cache_enabled_by_env() -> bool:
+    return os.environ.get("NACHOS_CACHE", "").lower() not in ("off", "0", "false")
+
+
+class ResultCache:
+    """Pickle-backed content-addressed store with hit/miss accounting."""
+
+    def __init__(self, root: Optional[Path] = None, enabled: bool = True) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._stats_registered = False
+
+    # -- paths ----------------------------------------------------------
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.pkl"
+
+    @property
+    def _stats_path(self) -> Path:
+        return self.root / "stats.json"
+
+    # -- object store ---------------------------------------------------
+    def get(self, key: str) -> Any:
+        """Return the stored value for *key*, or ``ResultCache.MISS``."""
+        if not self.enabled:
+            return _MISS
+        path = self._object_path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self._count(hit=False)
+            return _MISS
+        self._count(hit=True)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        if not self.enabled:
+            return
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    MISS = _MISS
+
+    # -- accounting -----------------------------------------------------
+    def _count(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+            if not self._stats_registered:
+                self._stats_registered = True
+                atexit.register(self.flush_stats)
+
+    def add_counts(self, hits: int, misses: int) -> None:
+        """Fold counters observed elsewhere (pool workers) into this cache."""
+        if hits == 0 and misses == 0:
+            return
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+            if not self._stats_registered:
+                self._stats_registered = True
+                atexit.register(self.flush_stats)
+
+    def flush_stats(self) -> None:
+        """Merge this process's counters into the persisted stats file."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            self.hits = 0
+            self.misses = 0
+        if not self.enabled or (hits == 0 and misses == 0):
+            return
+        try:
+            persisted = self._read_stats_file()
+            persisted["hits"] += hits
+            persisted["misses"] += misses
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+            with os.fdopen(fd, "w") as fh:
+                json.dump(persisted, fh)
+            os.replace(tmp, self._stats_path)
+        except OSError:
+            pass  # stats are best-effort; never fail a run over them
+
+    def _read_stats_file(self) -> Dict[str, int]:
+        try:
+            with open(self._stats_path) as fh:
+                data = json.load(fh)
+            return {"hits": int(data.get("hits", 0)), "misses": int(data.get("misses", 0))}
+        except (OSError, ValueError):
+            return {"hits": 0, "misses": 0}
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count, on-disk bytes, and cumulative hit/miss counters."""
+        entries = 0
+        size = 0
+        objects = self.root / "objects"
+        if objects.is_dir():
+            for path in objects.rglob("*.pkl"):
+                entries += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    pass
+        persisted = self._read_stats_file()
+        return {
+            "root": str(self.root),
+            "enabled": self.enabled,
+            "entries": entries,
+            "bytes": size,
+            "hits": persisted["hits"] + self.hits,
+            "misses": persisted["misses"] + self.misses,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every cached object (and the counters); return count."""
+        removed = 0
+        objects = self.root / "objects"
+        if objects.is_dir():
+            removed = sum(1 for _ in objects.rglob("*.pkl"))
+            shutil.rmtree(objects, ignore_errors=True)
+        try:
+            self._stats_path.unlink()
+        except OSError:
+            pass
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Process-wide default cache
+# ----------------------------------------------------------------------
+_default: Optional[ResultCache] = None
+
+
+def get_cache() -> ResultCache:
+    """The process-wide cache (created lazily from the environment)."""
+    global _default
+    if _default is None:
+        _default = ResultCache(enabled=cache_enabled_by_env())
+    return _default
+
+
+def configure_cache(
+    root: Optional[Path] = None, enabled: Optional[bool] = None
+) -> ResultCache:
+    """Replace the process-wide cache (CLI/tests entry point)."""
+    global _default
+    current = get_cache()
+    _default = ResultCache(
+        root=root if root is not None else current.root,
+        enabled=enabled if enabled is not None else current.enabled,
+    )
+    return _default

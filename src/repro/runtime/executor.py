@@ -1,0 +1,99 @@
+"""Process-pool fan-out for simulation tasks.
+
+``run_tasks`` maps :class:`SimTask` s over a ``ProcessPoolExecutor``
+with order-preserving collection, so results come back in task order
+regardless of which worker finished first — parallel and serial runs
+are indistinguishable to callers.
+
+The default job count comes from the CLI (``--jobs``) or the
+``NACHOS_JOBS`` environment variable and defaults to 1 (serial, no pool
+spawned).  Workers share the on-disk result cache with the parent, so a
+task that another worker already computed is a cheap unpickle.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+_jobs: Optional[int] = None
+
+
+def get_jobs() -> int:
+    """The effective default parallelism for sweeps."""
+    if _jobs is not None:
+        return _jobs
+    env = os.environ.get("NACHOS_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def set_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default (``None`` restores env/serial)."""
+    global _jobs
+    _jobs = max(1, jobs) if jobs is not None else None
+
+
+@dataclass
+class SimTask:
+    """One (workload, system) simulation request.
+
+    The whole :class:`~repro.workloads.generator.Workload` rides along —
+    it is a plain picklable dataclass, and shipping it keeps workers
+    stateless (no re-derivation from specs in the child).
+    """
+
+    workload: Any
+    system: str
+    invocations: int
+    check: bool = True
+    warm: bool = True
+    kwargs: dict = field(default_factory=dict)
+
+
+def _execute(task: SimTask):
+    from repro.experiments.common import run_system
+
+    return run_system(
+        task.workload,
+        task.system,
+        invocations=task.invocations,
+        check=task.check,
+        warm=task.warm,
+        **task.kwargs,
+    )
+
+
+def _execute_counted(task: SimTask):
+    """Worker wrapper: ship per-task cache-counter deltas back with the
+    result.  Forked pool workers never run ``atexit``, so their hit/miss
+    counts would otherwise vanish; each worker runs tasks sequentially,
+    making the delta per task exact."""
+    from repro.runtime.cache import get_cache
+
+    cache = get_cache()
+    h0, m0 = cache.hits, cache.misses
+    run = _execute(task)
+    return run, cache.hits - h0, cache.misses - m0
+
+
+def run_tasks(tasks: Sequence[SimTask], jobs: Optional[int] = None) -> List[Any]:
+    """Run *tasks*, returning :class:`SystemRun` s in task order."""
+    tasks = list(tasks)
+    n = jobs if jobs is not None else get_jobs()
+    if n <= 1 or len(tasks) <= 1:
+        return [_execute(t) for t in tasks]
+    with ProcessPoolExecutor(max_workers=min(n, len(tasks))) as pool:
+        results = list(pool.map(_execute_counted, tasks))
+    from repro.runtime.cache import get_cache
+
+    cache = get_cache()
+    for _, hits, misses in results:
+        cache.add_counts(hits, misses)
+    return [run for run, _, _ in results]

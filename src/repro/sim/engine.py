@@ -54,12 +54,12 @@ class _OpRun:
         "complete_time",
     )
 
-    def __init__(self, pending_addr: int, pending_value: int) -> None:
+    def __init__(self, pending_addr: int, pending_value: int, t0: int = 0) -> None:
         self.pending_addr = pending_addr
         self.pending_value = pending_value
-        self.addr_time = 0
-        self.value_time = 0
-        self.inputs_time = 0
+        self.addr_time = t0
+        self.value_time = t0
+        self.inputs_time = t0
         self.addr_notified = False
         self.value_notified = False
         self.completed = False
@@ -99,9 +99,59 @@ class DataflowEngine:
         self._inv_end = 0
 
         self._ops = graph.ops
-        self._users: Dict[int, List[int]] = {
-            op.op_id: graph.users_of(op.op_id) for op in self._ops
+        # Per-producer delivery plan, precomputed once per engine:
+        # src op_id -> [(user, n_addr, n_value, multiplicity, hops, route)].
+        # n_addr/n_value count how many of the user's operand positions
+        # this producer feeds (a store's value slot counted separately);
+        # multiplicity is the raw position count (network traffic).
+        self._targets: Dict[int, List[Tuple[Operation, int, int, int, int, int]]] = {
+            op.op_id: [] for op in self._ops
         }
+        for user in self._ops:
+            last = len(user.inputs) - 1
+            counts: Dict[int, List[int]] = {}
+            for pos, src in enumerate(user.inputs):
+                c = counts.setdefault(src, [0, 0, 0])
+                if user.is_store and pos == last:
+                    c[1] += 1
+                else:
+                    c[0] += 1
+                c[2] += 1
+            uid = user.op_id
+            for src, (n_addr, n_value, mult) in counts.items():
+                self._targets[src].append(
+                    (
+                        user,
+                        n_addr,
+                        n_value,
+                        mult,
+                        placement.hops(src, uid),
+                        placement.route_latency(src, uid),
+                    )
+                )
+        # Per-op invocation-reset plan (avoids per-invocation property
+        # calls): (op, pending_addr, pending_value, kick) where kick is
+        # 1 = source, 2 = constant-address memory, 3 = zero-input compute.
+        self._op_init: List[Tuple[Operation, int, int, int]] = []
+        self._mem_ops: List[Operation] = []
+        for op in self._ops:
+            n_inputs = len(op.inputs)
+            if op.is_store:
+                pa, pv = n_inputs - 1, 1
+            else:
+                pa, pv = n_inputs, 0
+            if op.opcode in (Opcode.INPUT, Opcode.CONST):
+                kick = 1
+            elif op.is_memory and pa == 0:
+                kick = 2
+            elif not op.is_memory and not op.inputs:
+                kick = 3
+            else:
+                kick = 0
+            self._op_init.append((op, pa, pv, kick))
+            if op.is_memory:
+                self._mem_ops.append(op)
+        self._addr_streams: Optional[List[Dict[int, Tuple[int, int]]]] = None
         # Per-directed-link next-free cycle (only with link contention).
         self._link_free: Dict[Tuple, int] = {}
         backend.attach(self, graph, placement)
@@ -124,7 +174,16 @@ class DataflowEngine:
         self,
         invocations: Iterable[Mapping[str, int]],
         region_name: Optional[str] = None,
+        addr_streams: Optional[List[Dict[int, Tuple[int, int]]]] = None,
     ) -> SimResult:
+        """Simulate *invocations* and return the result.
+
+        ``addr_streams`` optionally supplies pre-evaluated memory
+        addresses — one ``{op_id: (addr, width)}`` map per invocation —
+        so callers that already walked the trace (e.g. to warm the L2)
+        don't pay for ``AddressExpr.evaluate`` twice.
+        """
+        self._addr_streams = addr_streams
         per_inv: List[int] = []
         clock = 0
         n = 0
@@ -155,34 +214,30 @@ class DataflowEngine:
         self._inv_index = inv
         self._inv_end = t0
         self.values.clear()
-        self.addr_of.clear()
-        self._run.clear()
+        if self._addr_streams is not None:
+            self.addr_of = self._addr_streams[inv]
+        else:
+            self.addr_of = {
+                op.op_id: (op.addr.evaluate(env), op.addr.width)
+                for op in self._mem_ops
+            }
+        run_map = self._run
+        run_map.clear()
+        for op, pa, pv, _ in self._op_init:
+            run_map[op.op_id] = _OpRun(pa, pv, t0)
 
-        for op in self._ops:
-            if op.is_memory:
-                addr = op.addr.evaluate(env)
-                self.addr_of[op.op_id] = (addr, op.addr.width)
-            n_inputs = len(op.inputs)
-            if op.is_store:
-                state = _OpRun(pending_addr=n_inputs - 1, pending_value=1)
-            else:
-                state = _OpRun(pending_addr=n_inputs, pending_value=0)
-            self._run[op.op_id] = state
-            state.addr_time = t0
-            state.value_time = t0
-            state.inputs_time = t0
+        self.backend.begin_invocation(inv, t0, self.addr_of)
 
-        self.backend.begin_invocation(inv, t0, dict(self.addr_of))
-
-        for op in self._ops:
-            state = self._run[op.op_id]
-            if op.opcode in (Opcode.INPUT, Opcode.CONST):
+        for op, _, _, kick in self._op_init:
+            if kick == 0:
+                continue
+            if kick == 1:
                 self._complete_source(op, t0)
-            elif op.is_memory and state.pending_addr == 0 and not state.addr_notified:
+            elif kick == 2:
                 # Constant-address memory op: address is ready at t0.
-                state.addr_notified = True
+                run_map[op.op_id].addr_notified = True
                 self.schedule(t0, self._make_addr_notify(op, t0))
-            elif not op.is_memory and not op.inputs:
+            else:
                 # Zero-input compute (e.g. a promoted scratchpad access
                 # with a constant address) fires at the invocation start.
                 self._start_compute(op, t0)
@@ -236,16 +291,21 @@ class DataflowEngine:
         if op.is_memory:
             self.backend.on_memory_complete(op, t)
 
-        for user_id in self._users[op.op_id]:
-            user = self.graph.op(user_id)
-            hops = self.placement.hops(op.op_id, user_id)
-            if self.config.charge_network and hops:
-                self.energy.charge(EnergyEvent.NET_LINK, hops)
-            if self.config.model_link_contention and hops:
-                arrive = self._route_with_contention(op.op_id, user_id, t)
+        charge_network = self.config.charge_network
+        contention = self.config.model_link_contention
+        for user, n_addr, n_value, mult, hops, route in self._targets[op.op_id]:
+            if charge_network and hops:
+                self.energy.charge(EnergyEvent.NET_LINK, hops * mult)
+            if contention and hops:
+                # One route walk (and link reservation) per operand
+                # position; the delivery lands at the first walk's
+                # arrival, matching per-position delivery order.
+                arrive = self._route_with_contention(op.op_id, user.op_id, t)
+                for _ in range(mult - 1):
+                    self._route_with_contention(op.op_id, user.op_id, t)
             else:
-                arrive = t + self.placement.route_latency(op.op_id, user_id)
-            self._deliver(user, op.op_id, arrive)
+                arrive = t + route
+            self._deliver(user, n_addr, n_value, arrive)
 
     def _route_with_contention(self, src: int, dst: int, t: int) -> int:
         """Walk the XY route reserving one cycle per directed link."""
@@ -257,21 +317,24 @@ class DataflowEngine:
             when = start + hop_latency
         return when
 
-    def _deliver(self, user: Operation, src: int, t: int) -> None:
+    def _deliver(self, user: Operation, n_addr: int, n_value: int, t: int) -> None:
+        """Credit *user* with operand arrivals from one producer.
+
+        ``n_addr`` / ``n_value`` are the position counts precomputed in
+        ``_targets`` — a producer may feed several operand positions
+        (e.g. both the address and the value of a store).
+        """
         state = self._run[user.op_id]
-        # A producer may feed several operand positions (e.g. both the
-        # address and the value of a store); count each position.
-        last = len(user.inputs) - 1
-        for pos, inp in enumerate(user.inputs):
-            if inp != src:
-                continue
-            if user.is_store and pos == last:
-                state.pending_value -= 1
-                state.value_time = max(state.value_time, t)
-            else:
-                state.pending_addr -= 1
-                state.addr_time = max(state.addr_time, t)
-        state.inputs_time = max(state.inputs_time, t)
+        if n_value:
+            state.pending_value -= n_value
+            if t > state.value_time:
+                state.value_time = t
+        if n_addr:
+            state.pending_addr -= n_addr
+            if t > state.addr_time:
+                state.addr_time = t
+        if t > state.inputs_time:
+            state.inputs_time = t
 
         if user.is_memory:
             if state.pending_addr == 0 and not state.addr_notified:

@@ -17,6 +17,15 @@ from repro.memory import MemoryHierarchy
 from repro.sim import DataflowEngine, NachosBackend, NachosSWBackend, OptLSQBackend
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Keep test runs out of the user's on-disk result cache."""
+    from repro.runtime.cache import configure_cache
+
+    configure_cache(root=tmp_path_factory.mktemp("nachos-cache"), enabled=True)
+    yield
+
+
 @pytest.fixture
 def iv():
     return IVar("i", 64)

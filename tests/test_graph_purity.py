@@ -1,0 +1,91 @@
+"""Compiling and simulating must never mutate the workload's graph.
+
+The caching layer fingerprints ``workload.graph`` once and memoizes it,
+which is only sound if every system compiles into a clone.  These tests
+pin that contract: the serialized graph is bit-identical before and
+after any amount of experiment activity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.pipeline import PipelineConfig
+from repro.experiments.common import (
+    compare_systems,
+    compile_workload,
+    run_system,
+)
+from repro.ir.serialize import graph_to_dict
+from repro.workloads.generator import build_workload
+from repro.workloads.micro import build_micro
+from repro.workloads.spec import BenchmarkSpec, Mechanism
+
+ALL_SYSTEMS = (
+    "opt-lsq",
+    "nachos-sw",
+    "nachos",
+    "baseline-sw",
+    "spec-lsq",
+    "serial-mem",
+    "oracle-sw",
+)
+
+
+def _may_heavy_spec() -> BenchmarkSpec:
+    """Small synthetic region where the pipeline really inserts MDEs."""
+    return BenchmarkSpec(
+        name="purity-may",
+        suite="synthetic",
+        n_ops=60,
+        n_mem=12,
+        mlp=4,
+        store_frac=0.3,
+        stride=64,
+        mechanism_mix={Mechanism.PARAM_OPAQUE: 0.5, Mechanism.DISTINCT: 0.5},
+        chain_length=1,
+    )
+
+
+def test_compile_workload_leaves_graph_untouched():
+    workload = build_workload(_may_heavy_spec())
+    before = graph_to_dict(workload.graph)
+    result = compile_workload(workload, PipelineConfig.full())
+    assert result.graph is not workload.graph
+    assert result.graph.mdes  # the clone did get annotated
+    assert graph_to_dict(workload.graph) == before
+
+
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+def test_run_system_leaves_graph_untouched(system):
+    workload = build_workload(_may_heavy_spec())
+    before = graph_to_dict(workload.graph)
+    run = run_system(workload, system, invocations=3, check=False)
+    assert run.sim.invocations == 3
+    assert graph_to_dict(workload.graph) == before
+
+
+def test_compare_systems_leaves_graph_untouched():
+    workload = build_micro("scatter")
+    before = graph_to_dict(workload.graph)
+    cmp = compare_systems(workload, invocations=4)
+    assert cmp.all_correct
+    assert graph_to_dict(workload.graph) == before
+
+
+def test_clone_is_independent():
+    workload = build_micro("gather")
+    clone = workload.graph.clone()
+    before = graph_to_dict(workload.graph)
+    clone.replace_mdes([])
+    assert graph_to_dict(workload.graph) == before
+
+    bare = workload.graph.clone(with_mdes=False)
+    assert bare.mdes == []
+    assert graph_to_dict(workload.graph) == before
+
+
+def test_unknown_system_is_rejected():
+    workload = build_micro("reduction")
+    with pytest.raises(ValueError):
+        run_system(workload, "no-such-system", invocations=2)

@@ -1,0 +1,164 @@
+"""The content-addressed result cache: store, fingerprints, warm runs."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.compiler.pipeline import PipelineConfig
+from repro.runtime.cache import ResultCache, configure_cache, get_cache
+from repro.runtime.fingerprint import (
+    combine,
+    config_fingerprint,
+    envs_fingerprint,
+    graph_fingerprint,
+)
+from repro.experiments.common import clear_memos, run_system
+from repro.workloads.micro import build_micro
+
+from .conftest import build_may_region, build_simple_region
+
+
+@pytest.fixture
+def fresh_cache(tmp_path):
+    """An isolated, empty cache installed as the process default."""
+    prev = get_cache()
+    cache = configure_cache(root=tmp_path / "cache", enabled=True)
+    clear_memos()
+    yield cache
+    clear_memos()
+    configure_cache(root=prev.root, enabled=prev.enabled)
+
+
+# ----------------------------------------------------------------------
+# Object store
+# ----------------------------------------------------------------------
+def test_roundtrip_and_miss(tmp_path):
+    cache = ResultCache(root=tmp_path, enabled=True)
+    key = combine("unit", "roundtrip")
+    assert cache.get(key) is ResultCache.MISS
+    cache.put(key, {"cycles": 123, "values": [1, 2, 3]})
+    assert cache.get(key) == {"cycles": 123, "values": [1, 2, 3]}
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(root=tmp_path, enabled=True)
+    key = combine("unit", "corrupt")
+    cache.put(key, "fine")
+    path = cache._object_path(key)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(key) is ResultCache.MISS
+
+
+def test_disabled_cache_never_touches_disk(tmp_path):
+    cache = ResultCache(root=tmp_path, enabled=False)
+    key = combine("unit", "disabled")
+    cache.put(key, "value")
+    assert cache.get(key) is ResultCache.MISS
+    assert not (tmp_path / "objects").exists()
+    assert cache.hits == 0 and cache.misses == 0
+
+
+def test_stats_and_clear(tmp_path):
+    cache = ResultCache(root=tmp_path, enabled=True)
+    for i in range(3):
+        cache.put(combine("unit", "stats", str(i)), list(range(i)))
+    stats = cache.stats()
+    assert stats["entries"] == 3
+    assert stats["bytes"] > 0
+    assert cache.clear() == 3
+    assert cache.stats()["entries"] == 0
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_graph_fingerprint_stable_across_rebuilds():
+    # Fresh builds draw fresh uids from the global counter; the
+    # canonicalized fingerprint must not see them.
+    assert graph_fingerprint(build_simple_region()) == graph_fingerprint(
+        build_simple_region()
+    )
+    assert graph_fingerprint(build_may_region()) == graph_fingerprint(
+        build_may_region()
+    )
+
+
+def test_graph_fingerprint_distinguishes_content():
+    assert graph_fingerprint(build_simple_region()) != graph_fingerprint(
+        build_may_region()
+    )
+
+
+def test_workload_fingerprint_stable_across_rebuilds():
+    from repro.experiments.common import workload_fingerprint
+
+    assert workload_fingerprint(build_micro("gather")) == workload_fingerprint(
+        build_micro("gather")
+    )
+    assert workload_fingerprint(build_micro("gather")) != workload_fingerprint(
+        build_micro("scatter")
+    )
+
+
+def test_config_fingerprint():
+    assert config_fingerprint(None) == "none"
+    assert config_fingerprint(PipelineConfig.full()) == config_fingerprint(
+        PipelineConfig.full()
+    )
+    assert config_fingerprint(PipelineConfig.full()) != config_fingerprint(
+        PipelineConfig.baseline_compiler()
+    )
+
+
+def test_envs_fingerprint_order_insensitive_keys():
+    a = [{"i": 1, "j": 2}, {"i": 3, "j": 4}]
+    b = [{"j": 2, "i": 1}, {"j": 4, "i": 3}]
+    assert envs_fingerprint(a) == envs_fingerprint(b)
+    assert envs_fingerprint(a) != envs_fingerprint([{"i": 9, "j": 2}])
+
+
+def test_combine_is_order_sensitive():
+    assert combine("a", "b") == combine("a", "b")
+    assert combine("a", "b") != combine("b", "a")
+
+
+# ----------------------------------------------------------------------
+# Warm runs through run_system
+# ----------------------------------------------------------------------
+def test_warm_run_is_byte_identical_and_served_from_cache(fresh_cache):
+    workload = build_micro("stream_triad")
+    cold = run_system(workload, "nachos", invocations=4)
+    assert fresh_cache.hits == 0 and fresh_cache.misses > 0
+
+    # Drop the in-process memos so the second run must go to disk.
+    clear_memos()
+    fresh_cache.misses = 0
+    warm = run_system(build_micro("stream_triad"), "nachos", invocations=4)
+    assert fresh_cache.hits > 0
+    assert fresh_cache.misses == 0
+    assert pickle.dumps(warm.sim) == pickle.dumps(cold.sim)
+    assert warm.correct == cold.correct
+    assert warm.n_mdes == cold.n_mdes
+
+
+def test_check_false_shares_cache_entries_with_check_true(fresh_cache):
+    workload = build_micro("scatter")
+    run_system(workload, "opt-lsq", invocations=4, check=False)
+    clear_memos()
+    fresh_cache.misses = 0
+    checked = run_system(workload, "opt-lsq", invocations=4, check=True)
+    assert fresh_cache.misses == 0  # same entry, correctness was stored
+    assert checked.correct
+
+
+def test_session_hit_counters_feed_stats(fresh_cache):
+    workload = build_micro("reduction")
+    run_system(workload, "opt-lsq", invocations=3)
+    clear_memos()
+    run_system(workload, "opt-lsq", invocations=3)
+    stats = fresh_cache.stats()
+    assert stats["session_hits"] >= 1
+    assert stats["hits"] >= 1
