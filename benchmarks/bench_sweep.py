@@ -11,10 +11,16 @@ Modes::
     python benchmarks/bench_sweep.py                # full: nachos-repro all
     python benchmarks/bench_sweep.py --quick        # CI smoke: 2 regions x 3 systems
     python benchmarks/bench_sweep.py --jobs 4       # fan the sweep across workers
+    python benchmarks/bench_sweep.py --quick --check-warm-vs BENCH_sweep_quick.json
 
 The ``--quick`` smoke sweep is what CI runs on every push: two micro
 regions through all three paper systems, parallel, cache on, then a
 warm re-run that must be 100% cache-served and identical.
+
+``--check-warm-vs`` guards the hot path against observability overhead:
+the warm run must stay within 10% (plus a small absolute slack for
+machine noise) of a committed reference report's ``warm_seconds`` — a
+regression here means the disabled-tracer path stopped being free.
 """
 
 from __future__ import annotations
@@ -103,6 +109,39 @@ def _smoke_sweep() -> None:
     print(f"[cache: {cache.hits} hits, {cache.misses} misses]")
 
 
+#: Absolute slack (seconds) added on top of the relative tolerance when
+#: comparing warm times, so sub-second smoke sweeps don't flap on
+#: scheduler noise while real hot-path regressions (which scale with the
+#: sweep) still trip the relative bound.
+WARM_ABS_SLACK_SECONDS = 0.75
+
+
+def _check_warm(ref_path: str, report: dict, tolerance: float) -> int:
+    """Compare this run's warm time against a committed reference."""
+    ref = json.loads(Path(ref_path).read_text())
+    if ref.get("mode") != report["mode"]:
+        print(
+            f"FAIL: reference {ref_path} is mode={ref.get('mode')!r}, "
+            f"this run is mode={report['mode']!r}",
+            file=sys.stderr,
+        )
+        return 1
+    budget = ref["warm_seconds"] * (1.0 + tolerance) + WARM_ABS_SLACK_SECONDS
+    verdict = "ok" if report["warm_seconds"] <= budget else "FAIL"
+    print(
+        f"[warm check: {report['warm_seconds']:.2f}s vs reference "
+        f"{ref['warm_seconds']:.2f}s (budget {budget:.2f}s) -> {verdict}]"
+    )
+    if verdict == "FAIL":
+        print(
+            "FAIL: warm sweep regressed beyond the tolerance — the "
+            "disabled-observability hot path got slower",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke sweep")
@@ -110,6 +149,18 @@ def main(argv=None) -> int:
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_sweep.json"))
     parser.add_argument(
         "--keep-cache", action="store_true", help="keep the bench cache dir"
+    )
+    parser.add_argument(
+        "--check-warm-vs",
+        default=None,
+        metavar="REF_JSON",
+        help="fail if warm_seconds regresses >10%% vs this reference report",
+    )
+    parser.add_argument(
+        "--warm-tolerance",
+        type=float,
+        default=0.10,
+        help="relative warm-time regression tolerance for --check-warm-vs",
     )
     parser.add_argument("--child-quick", action="store_true", help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
@@ -160,6 +211,8 @@ def main(argv=None) -> int:
         if not args.quick and SEED_SERIAL_SECONDS / warm_s < 3.0:
             print("FAIL: warm sweep is not >= 3x the seed baseline", file=sys.stderr)
             return 1
+        if args.check_warm_vs:
+            return _check_warm(args.check_warm_vs, report, args.warm_tolerance)
         return 0
     finally:
         if args.keep_cache:

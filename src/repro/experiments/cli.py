@@ -9,8 +9,13 @@ Usage::
     nachos-repro all --jobs 4          # fan simulations across processes
     nachos-repro fig11 --invocations 60
     nachos-repro fig11 --no-cache      # force a cold run
+    nachos-repro fig11 --metrics m.json  # dump the metrics registry
     nachos-repro cache stats           # hit/miss counters, size
     nachos-repro cache clear           # drop every cached result
+    nachos-repro trace bzip2 --system nachos --out trace.json
+                                       # Chrome-trace/Perfetto event dump
+    nachos-repro profile fig11         # per-stage/per-region wall time,
+                                       # cache telemetry, worker usage
 """
 
 from __future__ import annotations
@@ -121,6 +126,22 @@ def main(argv=None) -> int:
         default=None,
         help="cache root (default ~/.cache/nachos-repro or $NACHOS_CACHE_DIR)",
     )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="dump a metrics-registry JSON (counters/histograms) after the run",
+    )
+    parser.add_argument(
+        "--system",
+        default="nachos",
+        help="system for 'trace' (opt-lsq, nachos-sw, nachos, spec-lsq, ...)",
+    )
+    parser.add_argument(
+        "--out",
+        default="trace.json",
+        help="output path for 'trace' (Chrome-trace/Perfetto JSON)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None:
@@ -134,6 +155,10 @@ def main(argv=None) -> int:
     names = args.experiments or ["list"]
     if names and names[0] == "cache":
         return _cache_command(names[1:])
+    if names and names[0] == "trace":
+        return _trace_command(names[1:], args)
+    if names and names[0] == "profile":
+        return _profile_command(names[1:], args)
     if names == ["list"] or names == []:
         print("Available experiments:")
         for name in EXPERIMENTS:
@@ -149,6 +174,12 @@ def main(argv=None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
 
+    stage_seconds = {}
+    if args.metrics:
+        from repro.obs import enable_profiling
+
+        enable_profiling()
+
     for name in names:
         run, render, takes_inv = EXPERIMENTS[name]
         start = time.time()
@@ -156,13 +187,17 @@ def main(argv=None) -> int:
             result = run(invocations=args.invocations)
         else:
             result = run()
+        stage_seconds[name] = time.time() - start
         print(render(result))
-        print(f"[{name}: {time.time() - start:.1f}s]")
+        print(f"[{name}: {stage_seconds[name]:.1f}s]")
         if args.svg_dir:
             _write_svg(name, result, args.svg_dir)
         if args.json_dir:
             _write_json(name, result, args.json_dir)
         print()
+
+    if args.metrics:
+        _dump_metrics(args.metrics, stage_seconds)
 
     cache = get_cache()
     if cache.enabled and (cache.hits or cache.misses):
@@ -171,6 +206,143 @@ def main(argv=None) -> int:
             f"[cache: {cache.hits}/{total} hits this run "
             f"({100.0 * cache.hits / total:.0f}%)]"
         )
+    return 0
+
+
+def _dump_metrics(path: str, stage_seconds: Dict[str, float]) -> None:
+    """Write the run's metrics registry (sweep + cache + stage timings)."""
+    from repro.obs import (
+        MetricsRegistry,
+        get_profile,
+        metrics_from_cache,
+        metrics_from_profile,
+    )
+
+    registry = MetricsRegistry()
+    for name, seconds in stage_seconds.items():
+        registry.gauge(f"stage.{name}.wall_seconds").set(seconds)
+    metrics_from_cache(registry=registry)
+    metrics_from_profile(get_profile(), registry=registry)
+    registry.write_json(path)
+    print(f"[wrote metrics to {path}]")
+
+
+def _trace_command(rest, args) -> int:
+    """``nachos-repro trace <region> --system <sys> --out trace.json``."""
+    from collections import Counter as TallyCounter
+
+    from repro.obs import (
+        backend_counts,
+        chrome_trace,
+        metrics_from_run,
+        resolve_workload,
+        traced_run,
+        write_chrome_trace,
+    )
+
+    if not rest:
+        print("usage: nachos-repro trace <region> [--system SYS] [--out PATH]",
+              file=sys.stderr)
+        return 2
+    try:
+        workload = resolve_workload(rest[0])
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    start = time.time()
+    try:
+        run = traced_run(
+            workload, args.system, invocations=args.invocations
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    trace = chrome_trace(
+        run.tracer,
+        graph=run.graph,
+        placement=run.placement,
+        region=workload.name,
+        backend=args.system,
+    )
+    write_chrome_trace(args.out, trace)
+
+    sim = run.sim
+    print(f"region {workload.name} under {args.system}: "
+          f"{sim.cycles} cycles over {sim.invocations} invocations "
+          f"({'correct' if run.correct else 'INCORRECT'})")
+    tally = TallyCounter(e.kind for e in run.tracer.events)
+    for kind in sorted(tally):
+        print(f"  {kind:<20} {tally[kind]}")
+    counted = backend_counts(run.tracer.events)
+    stats = sim.backend_stats.as_dict(rates=False)
+    if counted == stats:
+        print("[trace counters match backend stats]")
+    else:
+        drift = {k: (counted[k], stats[k]) for k in stats if counted[k] != stats[k]}
+        print(f"[WARNING: trace counters diverge from backend stats: {drift}]",
+              file=sys.stderr)
+    print(f"[wrote {len(trace['traceEvents'])} trace events to {args.out} "
+          f"in {time.time() - start:.1f}s — open in https://ui.perfetto.dev]")
+    if args.metrics:
+        registry = metrics_from_run(sim, tracer=run.tracer)
+        registry.write_json(args.metrics)
+        print(f"[wrote metrics to {args.metrics}]")
+    return 0 if run.correct and counted == stats else 1
+
+
+def _profile_command(rest, args) -> int:
+    """``nachos-repro profile [figure ...|all]`` — wall-time and cache
+    telemetry for experiment stages, plus worker utilization when
+    ``--jobs`` fans the sweep out."""
+    from repro.obs import enable_profiling, get_profile
+
+    names = rest or ["all"]
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    profile = enable_profiling()
+    cache = get_cache()
+    stage_seconds: Dict[str, float] = {}
+    for name in names:
+        run, _render, takes_inv = EXPERIMENTS[name]
+        start = time.time()
+        if takes_inv and args.invocations is not None:
+            run(invocations=args.invocations)
+        else:
+            run()
+        stage_seconds[name] = time.time() - start
+
+    print("per-stage wall time:")
+    for name, seconds in sorted(stage_seconds.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<14} {seconds:8.2f}s")
+    print(f"  {'total':<14} {sum(stage_seconds.values()):8.2f}s")
+
+    regions = get_profile().per_region()
+    if regions:
+        print("\nper-region simulation time (heaviest first):")
+        for region, (count, seconds) in list(regions.items())[:15]:
+            print(f"  {region:<14} {seconds:8.2f}s over {count} task(s)")
+        if len(regions) > 15:
+            print(f"  ... and {len(regions) - 15} more region(s)")
+
+    workers = profile.per_worker()
+    if len(workers) > 1:
+        print("\nper-worker busy time:")
+        for pid, busy in sorted(workers.items()):
+            print(f"  pid {pid:<8} {busy:8.2f}s")
+        print(f"  utilization: {100.0 * profile.utilization():.0f}%")
+
+    total = cache.hits + cache.misses
+    if total:
+        print(f"\ncache: {cache.hits}/{total} hits "
+              f"({100.0 * cache.hits / total:.0f}%)")
+    if args.metrics:
+        _dump_metrics(args.metrics, stage_seconds)
     return 0
 
 

@@ -1,0 +1,193 @@
+"""Chrome-trace / Perfetto JSON export of a traced simulation.
+
+Converts a :class:`~repro.obs.tracer.Tracer`'s event stream into the
+Trace Event Format that ``chrome://tracing`` and https://ui.perfetto.dev
+load directly:
+
+* engine events (op execution spans, memory accesses, blocked waits)
+  land on one track per placed PE — process "engine", thread "PE (r,c)";
+* backend decision events land on per-category tracks — process
+  "backend", one thread each for bloom/CAM, the LSQ, the ``==?``
+  comparators, order waits, and speculation;
+* LSQ occupancy additionally renders as a Perfetto counter track;
+* invocations render as top-level spans on the "region" track.
+
+Timestamps are simulated cycles reported as microseconds (1 cycle =
+1 us), which keeps Perfetto's zoom/labels readable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.tracer import (
+    BACKEND_KINDS,
+    COMPARATOR_CHECK,
+    INVOCATION,
+    LSQ_DEQUEUE,
+    LSQ_ENQUEUE,
+    ORDER_WAIT,
+    TraceEvent,
+    Tracer,
+)
+
+# Process ids of the three track groups.
+_PID_REGION = 0
+_PID_ENGINE = 1
+_PID_BACKEND = 2
+
+#: backend event kind -> (tid, thread label)
+_BACKEND_TRACKS = {
+    "bloom.probe": (1, "bloom / CAM"),
+    "cam.search": (1, "bloom / CAM"),
+    "lsq.enqueue": (2, "LSQ queue"),
+    "lsq.dequeue": (2, "LSQ queue"),
+    "lsq.forward": (2, "LSQ queue"),
+    "comparator.check": (3, "==? comparators"),
+    "runtime.forward": (3, "==? comparators"),
+    "order.wait": (4, "order waits"),
+    "speculation": (5, "speculation"),
+    "violation": (5, "speculation"),
+    "replay": (5, "speculation"),
+}
+
+
+def _meta(pid: int, name: str, tid: Optional[int] = None) -> dict:
+    event = {
+        "name": "process_name" if tid is None else "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid if tid is not None else 0,
+        "args": {"name": name},
+    }
+    return event
+
+
+def chrome_trace(
+    tracer: Tracer,
+    graph=None,
+    placement=None,
+    region: str = "",
+    backend: str = "",
+) -> dict:
+    """Render *tracer*'s events as a Chrome-trace dict.
+
+    *graph* (for op names) and *placement* (for PE tracks) are optional;
+    without a placement, engine events fall back to one track per op.
+    """
+    op_name: Dict[int, str] = {}
+    if graph is not None:
+        op_name = {
+            op.op_id: (op.name or f"{op.opcode.value}{op.op_id}")
+            for op in graph.ops
+        }
+
+    cols = placement.config.cols if placement is not None else 0
+    pe_label: Dict[int, str] = {}
+
+    def engine_tid(op: int) -> int:
+        if placement is None or op < 0:
+            return max(op, 0)
+        try:
+            r, c = placement.cell_of(op)
+        except KeyError:
+            return 0
+        tid = r * cols + c
+        pe_label.setdefault(tid, f"PE ({r},{c})")
+        return tid
+
+    events: List[dict] = [
+        _meta(_PID_REGION, f"region {region}".strip()),
+        _meta(_PID_REGION, "invocations", tid=0),
+        _meta(_PID_ENGINE, "engine (PEs)"),
+        _meta(_PID_BACKEND, f"backend {backend}".strip()),
+    ]
+    seen_backend_tids = set()
+
+    for e in tracer.events:
+        if e.kind == INVOCATION:
+            events.append(
+                {
+                    "name": f"inv {e.inv}",
+                    "cat": INVOCATION,
+                    "ph": "X",
+                    "ts": e.t,
+                    "dur": max(e.dur, 1),
+                    "pid": _PID_REGION,
+                    "tid": 0,
+                    "args": {"invocation": e.inv},
+                }
+            )
+            continue
+
+        if e.kind in BACKEND_KINDS:
+            tid, label = _BACKEND_TRACKS[e.kind]
+            if tid not in seen_backend_tids:
+                seen_backend_tids.add(tid)
+                events.append(_meta(_PID_BACKEND, label, tid=tid))
+            name = e.kind
+            if e.kind == COMPARATOR_CHECK and e.args:
+                name = "==? conflict" if e.args.get("conflict") else "==? clear"
+            record = {
+                "name": name,
+                "cat": e.kind,
+                "ph": "X" if e.dur else "i",
+                "ts": e.t,
+                "pid": _PID_BACKEND,
+                "tid": tid,
+                "args": dict(e.args or (), invocation=e.inv, op=e.op),
+            }
+            if e.dur:
+                record["dur"] = e.dur
+            else:
+                record["s"] = "t"
+            events.append(record)
+            # Occupancy doubles as a Perfetto counter series.
+            if e.kind in (LSQ_ENQUEUE, LSQ_DEQUEUE) and e.args:
+                events.append(
+                    {
+                        "name": "lsq_occupancy",
+                        "ph": "C",
+                        "ts": e.t,
+                        "pid": _PID_BACKEND,
+                        "args": {"entries": e.args.get("occupancy", 0)},
+                    }
+                )
+            continue
+
+        tid = engine_tid(e.op)
+        record = {
+            "name": f"{e.kind} {op_name.get(e.op, '')}".strip(),
+            "cat": e.kind,
+            "ph": "X" if e.dur else "i",
+            "ts": e.t,
+            "pid": _PID_ENGINE,
+            "tid": tid,
+            "args": dict(e.args or (), invocation=e.inv, op=e.op),
+        }
+        if e.dur:
+            record["dur"] = e.dur
+        else:
+            record["s"] = "t"
+        events.append(record)
+
+    for tid, label in sorted(pe_label.items()):
+        events.append(_meta(_PID_ENGINE, label, tid=tid))
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"region": region, "backend": backend, "unit": "1 cycle = 1us"},
+    }
+
+
+def write_chrome_trace(path: str, trace: dict) -> None:
+    """Write a trace dict produced by :func:`chrome_trace` to *path*."""
+    with open(path, "w") as fh:
+        json.dump(trace, fh, indent=1)
+
+
+def order_wait_latencies(tracer: Tracer) -> List[int]:
+    """The wait durations (cycles) of every order-wait span."""
+    return [e.dur for e in tracer.events if e.kind == ORDER_WAIT]

@@ -1,0 +1,128 @@
+"""Wall-clock profiling of the sweep runtime.
+
+The executor (:mod:`repro.runtime.executor`) reports one
+:class:`TaskRecord` per simulation task — region, system, wall seconds,
+the worker that ran it, and the task's result-cache hit/miss delta —
+plus one :class:`SweepRecord` per ``run_tasks`` batch.  Recording is
+off by default (``enable()`` flips it; the disabled check is one module
+attribute load per batch), so ordinary sweeps pay nothing.
+
+``nachos-repro profile <figure>`` enables this collector, runs the
+figure, and prints per-stage / per-region wall-time and cache tables;
+:func:`repro.obs.metrics.metrics_from_profile` exports the same data as
+a metrics registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class TaskRecord:
+    """One simulation task's execution telemetry."""
+
+    region: str
+    system: str
+    seconds: float
+    worker: int          # pid of the process that ran it (parent if serial)
+    hits: int = 0        # result-cache hits observed during the task
+    misses: int = 0
+
+
+@dataclass
+class SweepRecord:
+    """One ``run_tasks`` batch."""
+
+    tasks: int
+    jobs: int
+    wall_seconds: float
+
+
+@dataclass
+class SweepProfile:
+    """Accumulates task/sweep records while enabled."""
+
+    enabled: bool = False
+    tasks: List[TaskRecord] = field(default_factory=list)
+    sweeps: List[SweepRecord] = field(default_factory=list)
+
+    # -- recording (called by the executor) -----------------------------
+    def record_task(
+        self,
+        region: str,
+        system: str,
+        seconds: float,
+        worker: int,
+        hits: int = 0,
+        misses: int = 0,
+    ) -> None:
+        self.tasks.append(TaskRecord(region, system, seconds, worker, hits, misses))
+
+    def record_sweep(self, tasks: int, jobs: int, wall_seconds: float) -> None:
+        self.sweeps.append(SweepRecord(tasks, jobs, wall_seconds))
+
+    # -- rollups ---------------------------------------------------------
+    @property
+    def wall_seconds(self) -> float:
+        return sum(s.wall_seconds for s in self.sweeps)
+
+    @property
+    def task_seconds(self) -> float:
+        return sum(t.seconds for t in self.tasks)
+
+    def per_worker(self) -> Dict[int, float]:
+        """pid -> busy seconds."""
+        out: Dict[int, float] = {}
+        for t in self.tasks:
+            out[t.worker] = out.get(t.worker, 0.0) + t.seconds
+        return out
+
+    def per_region(self) -> Dict[str, Tuple[int, float]]:
+        """region -> (task count, busy seconds), heaviest first."""
+        acc: Dict[str, List[float]] = {}
+        for t in self.tasks:
+            entry = acc.setdefault(t.region, [0, 0.0])
+            entry[0] += 1
+            entry[1] += t.seconds
+        return {
+            k: (int(v[0]), v[1])
+            for k, v in sorted(acc.items(), key=lambda kv: -kv[1][1])
+        }
+
+    def utilization(self) -> float:
+        """Busy worker-seconds over offered worker-seconds (<= 1.0)."""
+        offered = sum(s.wall_seconds * max(s.jobs, 1) for s in self.sweeps)
+        return self.task_seconds / offered if offered else 0.0
+
+    def reset(self) -> None:
+        self.tasks.clear()
+        self.sweeps.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-wide collector
+# ----------------------------------------------------------------------
+_profile = SweepProfile()
+
+
+def get_profile() -> SweepProfile:
+    return _profile
+
+
+def profiling_enabled() -> bool:
+    return _profile.enabled
+
+
+def enable_profiling() -> SweepProfile:
+    _profile.enabled = True
+    return _profile
+
+
+def disable_profiling() -> None:
+    _profile.enabled = False
+
+
+def reset_profile() -> None:
+    _profile.reset()

@@ -1,0 +1,189 @@
+"""Structured event tracing for the simulator.
+
+A :class:`Tracer` collects typed :class:`TraceEvent` s from the engine
+and the disambiguation backends: op issue/complete spans, memory
+accesses, and every backend decision (comparator checks and conflicts,
+bloom probes, CAM searches, LSQ enqueue/dequeue with occupancy, order
+waits, forwards, speculations/violations/replays).
+
+The contract with :class:`~repro.sim.result.BackendStats` is exact:
+**one trace event is emitted at every site that increments a stats
+counter**, so :func:`backend_counts` over an event stream reproduces the
+run's ``BackendStats`` totals (the CLI and the test suite both verify
+this).
+
+Tracing is opt-in.  The engine and backends hold ``None`` instead of a
+tracer when tracing is off (the :data:`NULL_TRACER` sentinel reports
+``enabled = False``), so the disabled path costs one attribute load per
+hook site and allocates nothing — cached/production sweeps pay ~nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+
+class TraceEvent:
+    """One typed event on the simulated clock.
+
+    ``dur == 0`` events are instants; ``dur > 0`` events are spans
+    ``[t, t + dur)``.  ``op`` is the graph op id the event belongs to
+    (``-1`` for region-level events), ``inv`` the invocation index, and
+    ``args`` an optional payload dict (addresses, verdicts, occupancy).
+    """
+
+    __slots__ = ("kind", "t", "dur", "inv", "op", "args")
+
+    def __init__(
+        self,
+        kind: str,
+        t: int,
+        dur: int = 0,
+        inv: int = -1,
+        op: int = -1,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.kind = kind
+        self.t = t
+        self.dur = dur
+        self.inv = inv
+        self.op = op
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" {self.args}" if self.args else ""
+        span = f"+{self.dur}" if self.dur else ""
+        return f"<{self.kind} @{self.t}{span} inv={self.inv} op={self.op}{extra}>"
+
+
+# Event kinds ----------------------------------------------------------
+# Engine lifecycle:
+INVOCATION = "invocation"          # span: one region invocation
+OP_SOURCE = "op.source"            # instant: INPUT/CONST completes
+OP_EXEC = "op.exec"                # span: compute op start..complete
+OP_BLOCKED = "op.blocked"          # span: memory op ready but held back
+MEM_LOAD = "mem.load"              # span: cache read issue..complete
+MEM_STORE = "mem.store"            # span: cache write issue..complete
+MEM_FORWARD = "mem.forward"        # instant: load completed by a forward
+# Backend decisions (counter-bearing kinds match BackendStats fields):
+BLOOM_PROBE = "bloom.probe"        # args: hit (OPT-LSQ only)
+CAM_SEARCH = "cam.search"
+LSQ_ENQUEUE = "lsq.enqueue"        # args: occupancy, bank
+LSQ_DEQUEUE = "lsq.dequeue"        # args: occupancy
+LSQ_FORWARD = "lsq.forward"        # args: src
+COMPARATOR_CHECK = "comparator.check"  # args: src, conflict
+RUNTIME_FORWARD = "runtime.forward"    # args: src
+ORDER_WAIT = "order.wait"          # span of length `wait`; args: src, edge
+SPECULATION = "speculation"
+VIOLATION = "violation"
+REPLAY = "replay"
+
+#: Kinds emitted by backends (rendered on backend tracks in the
+#: Chrome-trace export; everything else rides the engine's PE tracks).
+BACKEND_KINDS = frozenset(
+    {
+        BLOOM_PROBE,
+        CAM_SEARCH,
+        LSQ_ENQUEUE,
+        LSQ_DEQUEUE,
+        LSQ_FORWARD,
+        COMPARATOR_CHECK,
+        RUNTIME_FORWARD,
+        ORDER_WAIT,
+        SPECULATION,
+        VIOLATION,
+        REPLAY,
+    }
+)
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` s; the engine keeps ``inv`` current."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self.inv = -1
+
+    def emit(
+        self,
+        kind: str,
+        t: int,
+        dur: int = 0,
+        op: int = -1,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.events.append(TraceEvent(kind, t, dur, self.inv, op, args))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class NullTracer:
+    """The disabled tracer: accepts nothing, stores nothing."""
+
+    enabled = False
+    events: tuple = ()
+    inv = -1
+
+    def emit(self, kind, t, dur=0, op=-1, args=None) -> None:  # pragma: no cover
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op instance (the engine's default).
+NULL_TRACER = NullTracer()
+
+
+def backend_counts(events: Iterable[TraceEvent]) -> Dict[str, int]:
+    """Fold an event stream back into ``BackendStats``-shaped totals.
+
+    Every counter in :class:`~repro.sim.result.BackendStats` has exactly
+    one emitting site, so this reproduces the stats of the traced run.
+    """
+    counts = {
+        "bloom_probes": 0,
+        "bloom_hits": 0,
+        "cam_checks": 0,
+        "lsq_forwards": 0,
+        "comparator_checks": 0,
+        "comparator_conflicts": 0,
+        "runtime_forwards": 0,
+        "order_waits": 0,
+        "speculations": 0,
+        "violations": 0,
+        "replays": 0,
+    }
+    for e in events:
+        if e.kind == BLOOM_PROBE:
+            counts["bloom_probes"] += 1
+            if e.args and e.args.get("hit") is True:
+                counts["bloom_hits"] += 1
+        elif e.kind == CAM_SEARCH:
+            counts["cam_checks"] += 1
+        elif e.kind == LSQ_FORWARD:
+            counts["lsq_forwards"] += 1
+        elif e.kind == COMPARATOR_CHECK:
+            counts["comparator_checks"] += 1
+            if e.args and e.args.get("conflict"):
+                counts["comparator_conflicts"] += 1
+        elif e.kind == RUNTIME_FORWARD:
+            counts["runtime_forwards"] += 1
+        elif e.kind == ORDER_WAIT:
+            counts["order_waits"] += 1
+        elif e.kind == SPECULATION:
+            counts["speculations"] += 1
+        elif e.kind == VIOLATION:
+            counts["violations"] += 1
+        elif e.kind == REPLAY:
+            counts["replays"] += 1
+    return counts

@@ -9,14 +9,22 @@ The default job count comes from the CLI (``--jobs``) or the
 ``NACHOS_JOBS`` environment variable and defaults to 1 (serial, no pool
 spawned).  Workers share the on-disk result cache with the parent, so a
 task that another worker already computed is a cheap unpickle.
+
+When sweep profiling is enabled (:mod:`repro.obs.profile`), every task
+reports its wall time, the pid of the worker that ran it, and its
+result-cache hit/miss delta; each batch reports its wall clock and job
+count, from which per-worker utilization follows.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
+
+from repro.obs.profile import get_profile
 
 _jobs: Optional[int] = None
 
@@ -71,29 +79,76 @@ def _execute(task: SimTask):
 
 
 def _execute_counted(task: SimTask):
-    """Worker wrapper: ship per-task cache-counter deltas back with the
-    result.  Forked pool workers never run ``atexit``, so their hit/miss
-    counts would otherwise vanish; each worker runs tasks sequentially,
-    making the delta per task exact."""
+    """Worker wrapper: ship per-task cache-counter deltas, wall time,
+    and the worker pid back with the result.  Forked pool workers never
+    run ``atexit``, so their hit/miss counts would otherwise vanish;
+    each worker runs tasks sequentially, making the delta per task
+    exact."""
     from repro.runtime.cache import get_cache
 
     cache = get_cache()
     h0, m0 = cache.hits, cache.misses
+    t0 = time.perf_counter()
     run = _execute(task)
-    return run, cache.hits - h0, cache.misses - m0
+    elapsed = time.perf_counter() - t0
+    return run, cache.hits - h0, cache.misses - m0, elapsed, os.getpid()
+
+
+def _task_label(task: SimTask) -> str:
+    workload = task.workload
+    name = getattr(workload, "name", None) or getattr(
+        getattr(workload, "spec", None), "name", "?"
+    )
+    return str(name)
+
+
+def _run_serial_profiled(tasks: List[SimTask]) -> List[Any]:
+    from repro.runtime.cache import get_cache
+
+    profile = get_profile()
+    cache = get_cache()
+    pid = os.getpid()
+    out: List[Any] = []
+    wall0 = time.perf_counter()
+    for task in tasks:
+        h0, m0 = cache.hits, cache.misses
+        t0 = time.perf_counter()
+        out.append(_execute(task))
+        profile.record_task(
+            _task_label(task),
+            task.system,
+            time.perf_counter() - t0,
+            pid,
+            hits=cache.hits - h0,
+            misses=cache.misses - m0,
+        )
+    profile.record_sweep(len(tasks), 1, time.perf_counter() - wall0)
+    return out
 
 
 def run_tasks(tasks: Sequence[SimTask], jobs: Optional[int] = None) -> List[Any]:
     """Run *tasks*, returning :class:`SystemRun` s in task order."""
     tasks = list(tasks)
     n = jobs if jobs is not None else get_jobs()
+    profile = get_profile()
     if n <= 1 or len(tasks) <= 1:
+        if profile.enabled:
+            return _run_serial_profiled(tasks)
         return [_execute(t) for t in tasks]
+    wall0 = time.perf_counter()
     with ProcessPoolExecutor(max_workers=min(n, len(tasks))) as pool:
         results = list(pool.map(_execute_counted, tasks))
+    wall = time.perf_counter() - wall0
     from repro.runtime.cache import get_cache
 
     cache = get_cache()
-    for _, hits, misses in results:
+    for _, hits, misses, _, _ in results:
         cache.add_counts(hits, misses)
-    return [run for run, _, _ in results]
+    if profile.enabled:
+        for task, (_, hits, misses, seconds, pid) in zip(tasks, results):
+            profile.record_task(
+                _task_label(task), task.system, seconds, pid,
+                hits=hits, misses=misses,
+            )
+        profile.record_sweep(len(tasks), min(n, len(tasks)), wall)
+    return [run for run, _, _, _, _ in results]

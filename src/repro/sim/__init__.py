@@ -26,10 +26,16 @@ from repro.sim.backends.nachos_sw import NachosSWBackend
 from repro.sim.backends.nachos_hw import NachosBackend
 from repro.sim.backends.serial import SerialMemBackend
 from repro.sim.backends.spec_lsq import SpecLSQBackend, SpecLSQConfig
-from repro.sim.timeline import InvocationTimeline, TimelineRecorder, render_timeline
+from repro.sim.timeline import (
+    InvocationTimeline,
+    OpTiming,
+    TimelineRecorder,
+    render_timeline,
+)
 
 __all__ = [
     "InvocationTimeline",
+    "OpTiming",
     "TimelineRecorder",
     "render_timeline",
     "DataflowEngine",

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.energy.config import EnergyEvent
 from repro.ir.graph import DFGraph, MDEKind, MemoryDependencyEdge
 from repro.ir.ops import Operation
+from repro.obs import tracer as obs
 from repro.sim.engine import DataflowEngine, DisambiguationBackend
 
 Pair = Tuple[int, int]
@@ -59,6 +60,7 @@ class MDEBackendBase(DisambiguationBackend):
         self._issued: Set[int] = set()
         self._addr_of: Dict[int, Tuple[int, int]] = {}
         self._t0 = 0
+        self._blocked_since: Dict[int, int] = {}   # tracing only
 
     # ------------------------------------------------------------------
     def attach(self, engine: DataflowEngine, graph: DFGraph, placement) -> None:
@@ -83,6 +85,7 @@ class MDEBackendBase(DisambiguationBackend):
         self._issued.clear()
         self._addr_of = addr_of
         self._t0 = t0
+        self._blocked_since.clear()
 
     # ------------------------------------------------------------------
     # Engine notifications
@@ -110,18 +113,49 @@ class MDEBackendBase(DisambiguationBackend):
                 continue
             when = t + signal
             self._resolved[pair] = when
-            if edge.kind is MDEKind.ORDER:
+            if edge.kind is MDEKind.ORDER or (
+                edge.kind is MDEKind.MAY and not self.hardware_checks
+            ):
+                # A MAY edge without hardware checks (NACHOS-SW) is
+                # serialized exactly like an ORDER edge (1-bit).
                 self.engine.energy.charge(EnergyEvent.MDE_MUST)
                 self.stats.order_waits += 1
-            elif edge.kind is MDEKind.MAY and not self.hardware_checks:
-                # NACHOS-SW serializes MAY like an ORDER edge (1-bit).
-                self.engine.energy.charge(EnergyEvent.MDE_MUST)
-                self.stats.order_waits += 1
+                if self._trace is not None:
+                    self._emit_order_wait(edge, when)
             self._retry(edge.dst, when)
 
     # ------------------------------------------------------------------
     def _retry(self, op_id: int, when: int) -> None:
         self.engine.schedule(when, lambda: self._try_issue(op_id, when))
+
+    # ------------------------------------------------------------------
+    # Tracing helpers (no-ops unless a tracer is attached)
+    # ------------------------------------------------------------------
+    def _emit_order_wait(self, edge: MemoryDependencyEdge, when: int) -> None:
+        """One order-wait span per serialized edge resolution.
+
+        The wait extent runs from the younger op's address readiness
+        (if it was already waiting) to the resolution instant.
+        """
+        dst_ready = self._addr_ready.get(edge.dst)
+        wait = max(0, when - dst_ready) if dst_ready is not None else 0
+        self._trace.emit(
+            obs.ORDER_WAIT,
+            when - wait,
+            dur=wait,
+            op=edge.dst,
+            args={"src": edge.src, "edge": edge.kind.name.lower()},
+        )
+
+    def _note_blocked(self, op_id: int, now: int) -> None:
+        self._blocked_since.setdefault(op_id, now)
+
+    def _emit_unblocked(self, op_id: int, t_issue: int) -> None:
+        since = self._blocked_since.pop(op_id, None)
+        if since is not None and t_issue > since:
+            self._trace.emit(
+                obs.OP_BLOCKED, since, dur=t_issue - since, op=op_id
+            )
 
     # ------------------------------------------------------------------
     # NACHOS comparator (hardware_checks only)
@@ -165,6 +199,13 @@ class MDEBackendBase(DisambiguationBackend):
         self.stats.comparator_checks += 1
         conflict = ranges_overlap(self._addr_of[edge.src], self._addr_of[edge.dst])
         self._conflict[pair] = conflict
+        if self._trace is not None:
+            self._trace.emit(
+                obs.COMPARATOR_CHECK,
+                t,
+                op=edge.dst,
+                args={"src": edge.src, "conflict": conflict},
+            )
         if conflict:
             self.stats.comparator_conflicts += 1
             # Resolution waits for the older op's completion — but the
@@ -195,6 +236,8 @@ class MDEBackendBase(DisambiguationBackend):
         unresolved = [e for e in parents if (e.src, e.dst) not in self._resolved]
 
         if unresolved:
+            if self._trace is not None:
+                self._note_blocked(op_id, now)
             if self.hardware_checks and op.is_load:
                 self._try_forward_runtime(op, unresolved, now)
             return
@@ -205,6 +248,8 @@ class MDEBackendBase(DisambiguationBackend):
         for e in parents:
             t_start = max(t_start, self._resolved[(e.src, e.dst)])
         self._issued.add(op_id)
+        if self._trace is not None:
+            self._emit_unblocked(op_id, t_start)
         if op.is_load:
             self.engine.do_load(op, t_start)
         else:
@@ -227,6 +272,8 @@ class MDEBackendBase(DisambiguationBackend):
             self._value_ready[src_id] + route,
         ) + self.engine.config.forward_latency
         self._issued.add(op.op_id)
+        if self._trace is not None:
+            self._emit_unblocked(op.op_id, t)
         self.engine.energy.charge(EnergyEvent.MDE_FORWARD)
         self.engine.forward_load(op, src, t)
 
@@ -263,5 +310,10 @@ class MDEBackendBase(DisambiguationBackend):
         ) + self.engine.config.forward_latency
         self._issued.add(op.op_id)
         self.stats.runtime_forwards += 1
+        if self._trace is not None:
+            self._trace.emit(
+                obs.RUNTIME_FORWARD, t, op=op.op_id, args={"src": edge.src}
+            )
+            self._emit_unblocked(op.op_id, t)
         self.engine.energy.charge(EnergyEvent.MDE_FORWARD)
         self.engine.forward_load(op, src, t)

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.energy.config import EnergyEvent
 from repro.ir.graph import DFGraph
 from repro.ir.ops import Operation
+from repro.obs import tracer as obs
 from repro.sim.backends.base import ranges_exact, ranges_overlap
 from repro.sim.engine import DataflowEngine, DisambiguationBackend
 from repro.sim.values import mix
@@ -174,6 +175,13 @@ class OptLSQBackend(DisambiguationBackend):
             self._bank_load[self._bank_of(addr)] -= 1
             bloom = self._store_bloom if op.is_store else self._load_bloom
             bloom.remove(self._line_of(addr))
+            if self._trace is not None:
+                self._trace.emit(
+                    obs.LSQ_DEQUEUE,
+                    t,
+                    op=oid,
+                    args={"occupancy": sum(self._bank_load.values())},
+                )
 
         resume = t + 1
         for waiter, waiting in list(self._load_waits.items()):
@@ -226,9 +234,19 @@ class OptLSQBackend(DisambiguationBackend):
             hit = self._store_bloom.probe(line)
         else:
             hit = self._store_bloom.probe(line) or self._load_bloom.probe(line)
+        if self._trace is not None:
+            self._trace.emit(obs.BLOOM_PROBE, t, op=oid, args={"hit": hit})
+            self._trace.emit(
+                obs.LSQ_ENQUEUE,
+                t,
+                op=oid,
+                args={"occupancy": sum(self._bank_load.values()), "bank": self._bank_of(addr)},
+            )
         if hit:
             self.stats.bloom_hits += 1
             self.stats.cam_checks += 1
+            if self._trace is not None:
+                self._trace.emit(obs.CAM_SEARCH, t, op=oid)
             self.engine.energy.charge(
                 EnergyEvent.LSQ_CAM_STORE if op.is_store else EnergyEvent.LSQ_CAM_LOAD
             )
@@ -266,6 +284,10 @@ class OptLSQBackend(DisambiguationBackend):
             if ranges_exact(self._addr_of[youngest], addr_range):
                 # Store-to-load forwarding from the SQ.
                 self.stats.lsq_forwards += 1
+                if self._trace is not None:
+                    self._trace.emit(
+                        obs.LSQ_FORWARD, t, op=oid, args={"src": youngest}
+                    )
                 self.engine.energy.charge(EnergyEvent.LSQ_FORWARD)
                 if youngest in self._value_ready:
                     self._complete_forward(oid, youngest, t)

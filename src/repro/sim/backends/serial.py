@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.ir.ops import Operation
+from repro.obs import tracer as obs
 from repro.sim.engine import DisambiguationBackend
 
 
@@ -34,6 +35,7 @@ class SerialMemBackend(DisambiguationBackend):
         self._completed: Dict[int, int] = {}
         self._issued: set = set()
         self._t0 = 0
+        self._blocked_since: Dict[int, int] = {}  # tracing only
 
     def attach(self, engine, graph, placement) -> None:
         super().attach(engine, graph, placement)
@@ -46,6 +48,7 @@ class SerialMemBackend(DisambiguationBackend):
         self._completed.clear()
         self._issued.clear()
         self._t0 = t0
+        self._blocked_since.clear()
 
     # ------------------------------------------------------------------
     def on_addr_ready(self, op: Operation, t: int) -> None:
@@ -79,9 +82,16 @@ class SerialMemBackend(DisambiguationBackend):
         if idx > 0:
             prev = self._order[idx - 1]
             if prev not in self._completed:
+                if self._trace is not None:
+                    # Ready but serialized behind the previous memory op.
+                    self._blocked_since.setdefault(oid, t)
                 return
             t = max(t, self._completed[prev] + 1)
         self._issued.add(oid)
+        if self._trace is not None:
+            since = self._blocked_since.pop(oid, None)
+            if since is not None and t > since:
+                self._trace.emit(obs.OP_BLOCKED, since, dur=t - since, op=oid)
         if op.is_load:
             self.engine.do_load(op, t)
         else:

@@ -40,6 +40,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.energy.config import EnergyEvent
 from repro.ir.graph import DFGraph
 from repro.ir.ops import Operation
+from repro.obs import tracer as obs
 from repro.sim.backends.base import ranges_exact, ranges_overlap
 from repro.sim.engine import DataflowEngine, DisambiguationBackend
 
@@ -172,6 +173,11 @@ class SpecLSQBackend(DisambiguationBackend):
         self.engine.energy.charge(
             EnergyEvent.LSQ_CAM_STORE if op.is_store else EnergyEvent.LSQ_CAM_LOAD
         )
+        if self._trace is not None:
+            # Every resolved address probes and CAM-searches the queue
+            # (no bloom filtering in this OOO model, hence no hit arg).
+            self._trace.emit(obs.BLOOM_PROBE, t, op=op.op_id)
+            self._trace.emit(obs.CAM_SEARCH, t, op=op.op_id)
         for fn in self._addr_waiters.pop(op.op_id, []):
             fn(t)
         if op.is_load:
@@ -234,6 +240,8 @@ class SpecLSQBackend(DisambiguationBackend):
         self._issued.add(oid)
         self.stats.speculations += 1
         t_spec = t_ready
+        if self._trace is not None:
+            self._trace.emit(obs.SPECULATION, t_spec, op=oid)
 
         def verify(_t: int) -> None:
             late = [
@@ -243,6 +251,10 @@ class SpecLSQBackend(DisambiguationBackend):
             ]
             if late:
                 self.stats.violations += 1
+                if self._trace is not None:
+                    self._trace.emit(
+                        obs.VIOLATION, _t, op=oid, args={"stores": list(late)}
+                    )
                 for s in late:
                     self.predictor.train(s, oid)
                 all_conflicts = self._conflicting(oid, self._stores_before[oid])
@@ -260,6 +272,13 @@ class SpecLSQBackend(DisambiguationBackend):
 
     def _replayed_read(self, op: Operation, t_last_store: int) -> None:
         self.stats.replays += 1
+        if self._trace is not None:
+            self._trace.emit(
+                obs.REPLAY,
+                t_last_store,
+                dur=self.config.replay_penalty,
+                op=op.op_id,
+            )
         self.engine.do_load(op, t_last_store + self.config.replay_penalty)
 
     def _finish_load(self, op: Operation, t: int) -> None:
@@ -271,6 +290,10 @@ class SpecLSQBackend(DisambiguationBackend):
             youngest = max(live, key=lambda s: self._rank[s])
             if ranges_exact(self._addr_of[youngest], self._addr_of[oid]):
                 self.stats.lsq_forwards += 1
+                if self._trace is not None:
+                    self._trace.emit(
+                        obs.LSQ_FORWARD, t, op=oid, args={"src": youngest}
+                    )
                 self.engine.energy.charge(EnergyEvent.LSQ_FORWARD)
                 self._when_value(
                     youngest,

@@ -32,6 +32,7 @@ from repro.ir.graph import DFGraph
 from repro.ir.opcodes import Opcode, is_fp
 from repro.ir.ops import Operation
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs import tracer as obs
 from repro.sim.config import EngineConfig
 from repro.sim.result import BackendStats, SimResult
 from repro.sim.values import ValueMemory, forwarded_value, mix
@@ -51,6 +52,7 @@ class _OpRun:
         "addr_notified",
         "value_notified",
         "completed",
+        "start_time",
         "complete_time",
     )
 
@@ -63,6 +65,7 @@ class _OpRun:
         self.addr_notified = False
         self.value_notified = False
         self.completed = False
+        self.start_time = -1
         self.complete_time = -1
 
 
@@ -78,6 +81,7 @@ class DataflowEngine:
         energy: Optional[EnergyLedger] = None,
         config: Optional[EngineConfig] = None,
         recorder: Optional["TimelineRecorder"] = None,
+        tracer: Optional["obs.Tracer"] = None,
     ) -> None:
         self.graph = graph
         self.placement = placement
@@ -86,6 +90,10 @@ class DataflowEngine:
         self.energy = energy if energy is not None else EnergyLedger()
         self.config = config or EngineConfig()
         self.recorder = recorder
+        self.tracer = tracer if tracer is not None else obs.NULL_TRACER
+        # Hot paths test `self._trace is not None`: one load + identity
+        # check when tracing is off, so production sweeps pay ~nothing.
+        self._trace = self.tracer if self.tracer.enabled else None
 
         self.memory = ValueMemory()
         self.values: Dict[int, int] = {}
@@ -213,6 +221,8 @@ class DataflowEngine:
     def _run_invocation(self, inv: int, t0: int, env: Mapping[str, int]) -> int:
         self._inv_index = inv
         self._inv_end = t0
+        if self._trace is not None:
+            self._trace.inv = inv
         self.values.clear()
         if self._addr_streams is not None:
             self.addr_of = self._addr_streams[inv]
@@ -244,6 +254,8 @@ class DataflowEngine:
 
         self._drain_events()
         self.backend.end_invocation()
+        if self._trace is not None:
+            self._trace.emit(obs.INVOCATION, t0, dur=self._inv_end - t0)
         if self.recorder is not None:
             self.recorder.capture(self.graph, inv, t0, self._inv_end, self._run)
         return self._inv_end
@@ -267,10 +279,16 @@ class DataflowEngine:
     # ------------------------------------------------------------------
     def _complete_source(self, op: Operation, t: int) -> None:
         self.values[op.op_id] = self._source_value(op, self._inv_index)
+        self._run[op.op_id].start_time = t
+        if self._trace is not None:
+            self._trace.emit(obs.OP_SOURCE, t, op=op.op_id)
         self._finish(op, t)
 
     def _start_compute(self, op: Operation, t: int) -> None:
         done = t + op.latency
+        self._run[op.op_id].start_time = t
+        if self._trace is not None:
+            self._trace.emit(obs.OP_EXEC, t, dur=op.latency, op=op.op_id)
         if is_fp(op.opcode):
             self.energy.charge(EnergyEvent.ALU_FP)
         else:
@@ -373,6 +391,15 @@ class DataflowEngine:
             if hops:
                 self.energy.charge(EnergyEvent.NET_LINK, 2 * hops)
         done = result.complete + edge
+        self._run[op.op_id].start_time = t_start
+        if self._trace is not None:
+            self._trace.emit(
+                obs.MEM_LOAD,
+                t_start,
+                dur=done - t_start,
+                op=op.op_id,
+                args={"addr": addr, "width": width},
+            )
 
         def complete() -> None:
             value = self.memory.load(addr, width)
@@ -395,6 +422,15 @@ class DataflowEngine:
                 self.energy.charge(EnergyEvent.NET_LINK, hops)
         value = self.values[op.inputs[-1]]
         done = result.complete
+        self._run[op.op_id].start_time = t_start
+        if self._trace is not None:
+            self._trace.emit(
+                obs.MEM_STORE,
+                t_start,
+                dur=done - t_start,
+                op=op.op_id,
+                args={"addr": addr, "width": width},
+            )
 
         def complete() -> None:
             self.memory.store(addr, width, value)
@@ -408,6 +444,11 @@ class DataflowEngine:
         """Complete load *op* at ``t`` with *src_store*'s value."""
         _, width = self.addr_of[op.op_id]
         value = forwarded_value(self.values[src_store.inputs[-1]], width)
+        self._run[op.op_id].start_time = t
+        if self._trace is not None:
+            self._trace.emit(
+                obs.MEM_FORWARD, t, op=op.op_id, args={"src": src_store.op_id}
+            )
 
         def complete() -> None:
             self.values[op.op_id] = value
@@ -428,6 +469,7 @@ class DisambiguationBackend:
         self.engine: Optional[DataflowEngine] = None
         self.graph: Optional[DFGraph] = None
         self.placement: Optional[Placement] = None
+        self._trace = None
 
     # -- lifecycle ------------------------------------------------------
     def attach(
@@ -436,6 +478,7 @@ class DisambiguationBackend:
         self.engine = engine
         self.graph = graph
         self.placement = placement
+        self._trace = engine.tracer if engine.tracer.enabled else None
 
     def begin_invocation(
         self, inv: int, t0: int, addr_of: Dict[int, Tuple[int, int]]

@@ -1,10 +1,9 @@
 """Per-operation execution timelines (debugging / visualization aid).
 
 A :class:`TimelineRecorder` passed to the engine captures each
-invocation's per-op completion times; :func:`render_timeline` draws a
-text gantt of
-one invocation — handy for seeing a MAY chain serialize under NACHOS-SW
-or an LSQ stall a ready load.
+invocation's per-op start and completion times; :func:`render_timeline`
+draws a text gantt of one invocation — handy for seeing a MAY chain
+serialize under NACHOS-SW or an LSQ stall a ready load.
 """
 
 from __future__ import annotations
@@ -20,7 +19,12 @@ class OpTiming:
     op_id: int
     opcode: str
     name: str
+    start: int
     complete: int
+
+    @property
+    def duration(self) -> int:
+        return self.complete - self.start
 
 
 @dataclass
@@ -29,16 +33,24 @@ class InvocationTimeline:
     start: int
     end: int
     timings: List[OpTiming] = field(default_factory=list)
+    _by_op: Dict[int, OpTiming] = field(default_factory=dict, repr=False)
 
     @property
     def cycles(self) -> int:
         return self.end - self.start
 
+    def add(self, timing: OpTiming) -> None:
+        self.timings.append(timing)
+        self._by_op[timing.op_id] = timing
+
+    def timing_of(self, op_id: int) -> OpTiming:
+        return self._by_op[op_id]
+
     def completion_of(self, op_id: int) -> int:
-        for t in self.timings:
-            if t.op_id == op_id:
-                return t.complete
-        raise KeyError(op_id)
+        return self._by_op[op_id].complete
+
+    def start_of(self, op_id: int) -> int:
+        return self._by_op[op_id].start
 
 
 class TimelineRecorder:
@@ -53,11 +65,15 @@ class TimelineRecorder:
             state = runs.get(op.op_id)
             if state is None or not state.completed:
                 continue
-            timeline.timings.append(
+            t_start = state.start_time
+            if t_start < 0:
+                t_start = state.complete_time
+            timeline.add(
                 OpTiming(
                     op_id=op.op_id,
                     opcode=op.opcode.value,
                     name=op.name,
+                    start=t_start,
                     complete=state.complete_time,
                 )
             )
@@ -72,17 +88,22 @@ def render_timeline(
     width: int = 60,
     memory_only: bool = False,
 ) -> str:
-    """A text gantt: one row per op, '#' marks its completion cycle."""
+    """A text gantt: one row per op, '=' spans execution, '#' marks
+    the completion cycle."""
     span = max(1, timeline.cycles)
     lines = [
         f"invocation {timeline.index}: cycles {timeline.start}..{timeline.end} "
         f"({timeline.cycles} cycles)"
     ]
-    for t in sorted(timeline.timings, key=lambda x: (x.complete, x.op_id)):
+    for t in sorted(timeline.timings, key=lambda x: (x.start, x.complete, x.op_id)):
         if memory_only and t.opcode not in ("load", "store"):
             continue
-        pos = int((t.complete - timeline.start) / span * (width - 1))
-        bar = "." * pos + "#"
+        lo = int((t.start - timeline.start) / span * (width - 1))
+        hi = int((t.complete - timeline.start) / span * (width - 1))
+        bar = "." * lo + "=" * (hi - lo) + "#"
         label = t.name or f"op{t.op_id}"
-        lines.append(f"{label[:18]:>18} {t.opcode:>6} |{bar:<{width}}| @{t.complete}")
+        lines.append(
+            f"{label[:18]:>18} {t.opcode:>6} |{bar:<{width}}| "
+            f"@{t.start}..{t.complete}"
+        )
     return "\n".join(lines)
