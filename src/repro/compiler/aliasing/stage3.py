@@ -20,7 +20,7 @@ Two paper-mandated details:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.compiler.labels import AliasLabel, AliasMatrix, PairKind, pair_kind
 from repro.ir.graph import DFGraph
@@ -103,11 +103,13 @@ def prune_stage3(
     graph: DFGraph,
     matrix: AliasMatrix,
     keep_st_ld_forwarding: bool = True,
+    exact_pairs: Optional[Set[Tuple[int, int]]] = None,
 ) -> EnforcementPlan:
     """Drop relations subsumed by transitive dependencies."""
     plan = EnforcementPlan()
     reach = _ReachIndex(graph)
     ops = {op.op_id: op for op in graph.memory_ops}
+    exact = exact_pairs or set()
 
     def process(pairs: Sequence[Tuple[int, int]], label: AliasLabel) -> None:
         for older, younger in pairs:
@@ -131,7 +133,17 @@ def prune_stage3(
             # addresses happen to conflict (NACHOS lets non-conflicting
             # pairs race).  Treating retained MAY edges as ordering would
             # make the transitive pruning unsound under NACHOS.
-            if label is AliasLabel.MUST:
+            #
+            # Exact-match ST->LD relations may be enforced as *forwards*,
+            # which deliver the store's value as soon as it is computed —
+            # long before the store's publish completes in the cache.  A
+            # chain through such an edge therefore does NOT order the
+            # store's publish before downstream accesses, so forwarding
+            # candidates must not justify pruning either (a straddling
+            # cold-line store whose forwarded consumer feeds a warm-line
+            # store would otherwise publish out of order).
+            may_forward = kind is PairKind.ST_LD and (older, younger) in exact
+            if label is AliasLabel.MUST and not may_forward:
                 reach.add_edge(older, younger)
 
     def by_span(pairs: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:

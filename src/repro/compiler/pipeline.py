@@ -132,7 +132,7 @@ class AliasPipeline:
             current = stage4
 
         if cfg.use_stage3:
-            plan = prune_stage3(graph, current)
+            plan = prune_stage3(graph, current, exact_pairs=exact)
         else:
             plan = retain_all(graph, current)
 

@@ -2,9 +2,12 @@
 
 After MDE insertion, every non-NO pair must be *ordered*: the younger
 operation reachable from the older one through edges that guarantee
-ordering under the target system.  For NACHOS that is data edges, ORDER
-and FORWARD edges, and the pair's own MAY edge (the runtime check
-orders it when it matters) — but **not** a chain of unrelated MAY edges.
+ordering under the target system.  For NACHOS that is data edges and
+ORDER edges, plus the pair's own MAY edge (the runtime check orders it
+when it matters) or the pair's own FORWARD edge (the load provably
+reads the store's value) — but **not** a chain of unrelated MAY edges,
+and **not** a chain through a FORWARD edge, which orders the store's
+value delivery but not its publish.
 
 ``verify_enforcement`` re-derives the ordering relation from scratch and
 returns the violating pairs; the pipeline's own stage 3 should never
@@ -35,13 +38,21 @@ class OrderingViolation:
 
 
 def _guaranteed_reachability(graph: DFGraph) -> Dict[int, Set[int]]:
-    """Reachability over data edges + ORDER/FORWARD MDEs only."""
+    """Reachability over data edges + ORDER MDEs only.
+
+    FORWARD edges deliberately do NOT contribute: a forward delivers the
+    store's *value* as soon as it is computed, typically long before the
+    store's *publish* completes in the cache, so a path through a FORWARD
+    edge does not order the store's publish before downstream accesses.
+    A FORWARD edge satisfies its own ST->LD pair (the load provably reads
+    the store's value), which ``verify_enforcement`` accepts directly.
+    """
     succ: Dict[int, Set[int]] = {op.op_id: set() for op in graph.ops}
     for op in graph.ops:
         for src in op.inputs:
             succ[src].add(op.op_id)
     for edge in graph.mdes:
-        if edge.kind in (MDEKind.ORDER, MDEKind.FORWARD):
+        if edge.kind is MDEKind.ORDER:
             succ[edge.src].add(edge.dst)
     reach: Dict[int, Set[int]] = {op.op_id: set() for op in graph.ops}
     for op in reversed(graph.ops):
@@ -65,6 +76,9 @@ def verify_enforcement(
     direct_may: Set[Tuple[int, int]] = {
         (e.src, e.dst) for e in graph.mdes if e.kind is MDEKind.MAY
     }
+    direct_forward: Set[Tuple[int, int]] = {
+        (e.src, e.dst) for e in graph.mdes if e.kind is MDEKind.FORWARD
+    }
     violations: List[OrderingViolation] = []
     for (older, younger), label in labels:
         if label is AliasLabel.NO:
@@ -72,6 +86,8 @@ def verify_enforcement(
         if younger in reach[older]:
             continue
         if label is AliasLabel.MAY and (older, younger) in direct_may:
+            continue
+        if label is AliasLabel.MUST and (older, younger) in direct_forward:
             continue
         violations.append(OrderingViolation(older, younger, label))
     return violations

@@ -14,6 +14,13 @@ Usage::
     nachos-repro cache clear           # drop every cached result
     nachos-repro trace bzip2 --system nachos --out trace.json
                                        # Chrome-trace/Perfetto event dump
+    nachos-repro trace bzip2 --system nachos --sanitize
+                                       # + check ordering invariants
+    nachos-repro verify --fuzz 200 --seed 0
+                                       # differential alias fuzzing over
+                                       # all five backends + sanitizer
+    nachos-repro verify --repro fuzz-repros/fuzz-0-41-nachos.json
+                                       # rerun a shrunken failure
     nachos-repro profile fig11         # per-stage/per-region wall time,
                                        # cache telemetry, worker usage
 """
@@ -142,6 +149,43 @@ def main(argv=None) -> int:
         default="trace.json",
         help="output path for 'trace' (Chrome-trace/Perfetto JSON)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="for 'trace': run the ordering sanitizer over the event stream",
+    )
+    parser.add_argument(
+        "--fuzz",
+        type=int,
+        default=100,
+        metavar="N",
+        help="for 'verify': number of fuzzed regions (default 100)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="for 'verify': campaign seed (regions are deterministic in it)",
+    )
+    parser.add_argument(
+        "--systems",
+        nargs="+",
+        default=None,
+        metavar="SYS",
+        help="for 'verify': backends to fuzz (default: all five)",
+    )
+    parser.add_argument(
+        "--repro",
+        default=None,
+        metavar="PATH",
+        help="for 'verify': rerun a saved fuzz repro instead of fuzzing",
+    )
+    parser.add_argument(
+        "--repro-dir",
+        default="fuzz-repros",
+        metavar="DIR",
+        help="for 'verify': where shrunken failing regions are dumped",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None:
@@ -157,6 +201,8 @@ def main(argv=None) -> int:
         return _cache_command(names[1:])
     if names and names[0] == "trace":
         return _trace_command(names[1:], args)
+    if names and names[0] == "verify":
+        return _verify_command(args)
     if names and names[0] == "profile":
         return _profile_command(names[1:], args)
     if names == ["list"] or names == []:
@@ -288,7 +334,71 @@ def _trace_command(rest, args) -> int:
         registry = metrics_from_run(sim, tracer=run.tracer)
         registry.write_json(args.metrics)
         print(f"[wrote metrics to {args.metrics}]")
-    return 0 if run.correct and counted == stats else 1
+    sanitize_ok = True
+    if args.sanitize:
+        from repro.verify import sanitize_trace
+
+        backend = sim.backend or args.system
+        report = sanitize_trace(
+            run.tracer.events, run.graph, backend, region=workload.name
+        )
+        print(report.render())
+        sanitize_ok = report.ok
+    return 0 if run.correct and counted == stats and sanitize_ok else 1
+
+
+def _verify_command(args) -> int:
+    """``nachos-repro verify [--fuzz N --seed S --systems ...]``.
+
+    Differentially fuzzes all (or the named) backends against the golden
+    model and the ordering sanitizer; failures are shrunk and dumped as
+    standalone repros.  ``--repro FILE`` reruns a saved repro instead.
+    """
+    from repro.verify import fuzz, rerun, save_failure
+
+    if args.repro:
+        oracle_ok, report = rerun(Path(args.repro))
+        print(report.render())
+        print(f"golden model: {'match' if oracle_ok else 'MISMATCH'}")
+        ok = oracle_ok and report.ok
+        print(f"repro {args.repro}: {'no longer fails' if ok else 'still failing'}")
+        return 0 if ok else 1
+
+    from repro.verify.fuzz import BACKENDS as FUZZ_BACKENDS
+
+    systems = list(args.systems) if args.systems else sorted(FUZZ_BACKENDS)
+    print(f"fuzzing systems: {', '.join(systems)}")
+    start = time.time()
+    done = {"n": 0}
+
+    def progress(k, n):
+        done["n"] = k
+        if k and k % 50 == 0:
+            print(f"  ... {k}/{n} regions")
+
+    result = fuzz(
+        args.fuzz, seed=args.seed, systems=systems, progress=progress
+    )
+    elapsed = time.time() - start
+    print(
+        f"fuzzed {result.regions} region(s) x "
+        f"{result.runs // max(result.regions, 1)} system(s) "
+        f"({result.runs} differential runs) in {elapsed:.1f}s "
+        f"[seed {args.seed}]"
+    )
+    if result.ok:
+        print("all runs clean: golden-model match + sanitizer clean")
+        return 0
+    repro_dir = Path(args.repro_dir)
+    for i, failure in enumerate(result.failures):
+        print(failure.describe())
+        path = save_failure(
+            failure, repro_dir / f"{failure.spec.name}-{failure.system}.json"
+        )
+        print(f"  repro written to {path} "
+              f"(rerun: nachos-repro verify --repro {path})")
+    print(f"{len(result.failures)} failing (region, system) pair(s)")
+    return 1
 
 
 def _profile_command(rest, args) -> int:

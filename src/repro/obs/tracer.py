@@ -64,7 +64,7 @@ OP_EXEC = "op.exec"                # span: compute op start..complete
 OP_BLOCKED = "op.blocked"          # span: memory op ready but held back
 MEM_LOAD = "mem.load"              # span: cache read issue..complete
 MEM_STORE = "mem.store"            # span: cache write issue..complete
-MEM_FORWARD = "mem.forward"        # instant: load completed by a forward
+MEM_FORWARD = "mem.forward"        # instant: load completed by a forward (args: src, addr, width)
 # Backend decisions (counter-bearing kinds match BackendStats fields):
 BLOOM_PROBE = "bloom.probe"        # args: hit (OPT-LSQ only)
 CAM_SEARCH = "cam.search"

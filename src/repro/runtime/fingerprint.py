@@ -26,7 +26,7 @@ from repro.ir.serialize import graph_to_dict
 
 #: Bump when the cache payload format or simulation semantics change in
 #: a way that invalidates stored results.
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 
 def _canonical_json(obj: Any) -> str:

@@ -122,6 +122,19 @@ class MDEBackendBase(DisambiguationBackend):
                 self.stats.order_waits += 1
                 if self._trace is not None:
                     self._emit_order_wait(edge, when)
+            elif (
+                edge.kind is MDEKind.MAY
+                and self.hardware_checks
+                and self._conflict.get(pair) is True
+                and edge.dst not in self._issued
+            ):
+                # NACHOS with a conflicting `==?` verdict that was not
+                # satisfied by a forward: the younger op really stalled
+                # until this completion — an order wait, even though no
+                # 1-bit MDE signal was charged for it.
+                self.stats.order_waits += 1
+                if self._trace is not None:
+                    self._emit_order_wait(edge, when)
             self._retry(edge.dst, when)
 
     # ------------------------------------------------------------------

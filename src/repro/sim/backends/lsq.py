@@ -69,10 +69,15 @@ class _Bloom:
             self._counts[b] = self._counts.get(b, 0) + 1
 
     def remove(self, line: int) -> None:
+        # An invocation-boundary reset may clear the filter while an
+        # access is still draining; its removal must not underflow
+        # counters the matching insert no longer owns.
         for b in self.signature(line):
-            self._counts[b] -= 1
-            if self._counts[b] <= 0:
-                del self._counts[b]
+            count = self._counts.get(b, 0)
+            if count <= 1:
+                self._counts.pop(b, None)
+            else:
+                self._counts[b] = count - 1
 
     def clear(self) -> None:
         self._counts.clear()
@@ -327,9 +332,14 @@ class OptLSQBackend(DisambiguationBackend):
             return
         del self._store_waits[oid]
         op = self.graph.op(oid)
+        # `now` is the resume timestamp computed by the caller (e.g. the
+        # completion of a conflicting access +1); folding it into the max
+        # keeps the store's issue time correct even when `_resume_time`
+        # was not updated first.
         t = max(
             self._issue_time[oid],
             self._value_ready[oid],
             self._resume_time.get(oid, 0),
+            now,
         )
         self.engine.do_store(op, t + self.config.pipeline_penalty)

@@ -247,7 +247,7 @@ class SpecLSQBackend(DisambiguationBackend):
             late = [
                 s
                 for s in self._conflicting(oid, unresolved)
-                if not (s in self._completed and self._completed[s] < t_spec)
+                if not self._store_observed_by(s, t_spec)
             ]
             if late:
                 self.stats.violations += 1
@@ -259,16 +259,33 @@ class SpecLSQBackend(DisambiguationBackend):
                     self.predictor.train(s, oid)
                 all_conflicts = self._conflicting(oid, self._stores_before[oid])
                 live = [s for s in all_conflicts if s not in self._completed]
+                # The replay cannot begin before the violation is detected
+                # (`_t`, the verify instant) — flooring at `t_spec` would
+                # let the replayed read slip in front of a violated store
+                # completing between speculation and detection.
                 self._when_all(
                     self._when_complete,
                     live,
                     lambda t: self._replayed_read(op, t),
-                    floor=t_spec,
+                    floor=_t,
                 )
             else:
                 self.engine.do_load(op, t_spec)
 
         self._when_all(self._when_addr, unresolved, verify, floor=t_spec)
+
+    def _store_observed_by(self, store_id: int, t_spec: int) -> bool:
+        """Did *store_id*'s publish land in time for a read at ``t_spec``?
+
+        The engine drains same-cycle events in scheduling order and a
+        store's value is published to byte memory at its completion
+        instant, so by the time the verify callback runs, any store whose
+        completion cycle is <= ``t_spec`` has already published and the
+        speculative read observed it.  Using a strict `<` here would count
+        a store completing exactly at ``t_spec`` as a violation and force
+        a spurious replay (pinned by the same-cycle litmus test).
+        """
+        return store_id in self._completed and self._completed[store_id] <= t_spec
 
     def _replayed_read(self, op: Operation, t_last_store: int) -> None:
         self.stats.replays += 1

@@ -381,6 +381,12 @@ class DataflowEngine:
         memory at the completion instant; every ordered older store has
         published strictly earlier and every ordered younger store
         publishes strictly later (backends guarantee both).
+
+        Same-cycle semantics: completion events draining in the same
+        cycle run in scheduling (FIFO) order, and a store publishes at
+        its completion instant — so a store whose completion has already
+        drained *is* observed by a load reading at the same cycle.
+        ``tests/test_litmus.py::test_same_cycle_drain_order`` pins this.
         """
         addr, width = self.addr_of[op.op_id]
         edge = self.placement.edge_latency(op.op_id)
@@ -442,12 +448,15 @@ class DataflowEngine:
 
     def forward_load(self, op: Operation, src_store: Operation, t: int) -> int:
         """Complete load *op* at ``t`` with *src_store*'s value."""
-        _, width = self.addr_of[op.op_id]
+        addr, width = self.addr_of[op.op_id]
         value = forwarded_value(self.values[src_store.inputs[-1]], width)
         self._run[op.op_id].start_time = t
         if self._trace is not None:
             self._trace.emit(
-                obs.MEM_FORWARD, t, op=op.op_id, args={"src": src_store.op_id}
+                obs.MEM_FORWARD,
+                t,
+                op=op.op_id,
+                args={"src": src_store.op_id, "addr": addr, "width": width},
             )
 
         def complete() -> None:

@@ -1,0 +1,52 @@
+"""Dynamic verification: trace sanitizing + differential alias fuzzing.
+
+The static layer (:mod:`repro.compiler.verify`) audits the enforcement
+*plan*; this package audits enforcement *behaviour*:
+
+* :func:`repro.verify.sanitizer.sanitize_trace` — replay a traced run
+  against the per-backend happens-before contract.
+* :func:`repro.verify.fuzz.fuzz` — generate adversarial regions and
+  differentially run every backend against ``golden_execute`` and the
+  sanitizer, shrinking failures to minimal repros.
+* :mod:`repro.verify.reproduce` — save/load/rerun shrunken repros.
+
+See ``docs/verification.md``.
+"""
+
+from repro.verify.fuzz import (
+    BACKENDS,
+    FuzzFailure,
+    FuzzResult,
+    MemOpSpec,
+    RegionSpec,
+    build_graph,
+    fuzz,
+    generate_spec,
+    run_spec,
+    shrink,
+)
+from repro.verify.reproduce import load_repro, rerun, save_failure
+from repro.verify.sanitizer import (
+    SanitizerReport,
+    SanitizerViolation,
+    sanitize_trace,
+)
+
+__all__ = [
+    "BACKENDS",
+    "FuzzFailure",
+    "FuzzResult",
+    "MemOpSpec",
+    "RegionSpec",
+    "SanitizerReport",
+    "SanitizerViolation",
+    "build_graph",
+    "fuzz",
+    "generate_spec",
+    "load_repro",
+    "rerun",
+    "run_spec",
+    "sanitize_trace",
+    "save_failure",
+    "shrink",
+]

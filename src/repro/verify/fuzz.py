@@ -1,0 +1,372 @@
+"""Differential alias fuzzer over all five disambiguation backends.
+
+Generates adversarial little regions — dense MAY graphs from symbolic
+offsets, exact/partial overlap mixes, narrow-within-wide widths,
+cache-line-straddling accesses, slow store values, late addresses — and
+runs each one under every backend, checking both oracles:
+
+* **value**: ``golden_execute(graph, envs).matches(...)`` (program-order
+  hash-token execution), and
+* **timing**: :func:`repro.verify.sanitizer.sanitize_trace` over the
+  traced event stream.
+
+Any failure is shrunk to a locally-minimal region (greedy delta
+debugging over ops, invocations, and op attributes) and reported as a
+:class:`FuzzFailure` that :mod:`repro.verify.reproduce` can serialize
+into a standalone JSON repro.
+
+Everything is deterministic in the seed: region *k* of ``--seed S`` is
+``RegionSpec`` generated from ``random.Random(S * 1_000_003 + k)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cgra.placement import place_region
+from repro.compiler import compile_region
+from repro.ir import AffineExpr, MemObject, RegionBuilder, Sym
+from repro.memory import MemoryHierarchy
+from repro.obs.tracer import Tracer
+from repro.sim import (
+    DataflowEngine,
+    NachosBackend,
+    NachosSWBackend,
+    OptLSQBackend,
+    SerialMemBackend,
+    SpecLSQBackend,
+    golden_execute,
+)
+from repro.verify.sanitizer import SanitizerReport, sanitize_trace
+
+BACKENDS: Dict[str, Callable] = {
+    "opt-lsq": OptLSQBackend,
+    "spec-lsq": SpecLSQBackend,
+    "serial-mem": SerialMemBackend,
+    "nachos-sw": NachosSWBackend,
+    "nachos": NachosBackend,
+}
+#: Systems whose compiled MDEs are part of the contract under test.
+NEEDS_MDES = frozenset({"nachos-sw", "nachos"})
+
+#: Offsets chosen to collide: exact duplicates, partial overlaps at
+#: every width, and accesses straddling the 64-byte line boundary.
+OFFSET_POOL = (0, 1, 2, 4, 6, 8, 12, 16, 56, 60, 62, 63, 64, 66, 72, 120, 124, 128)
+WIDTHS = (1, 2, 4, 8)
+SYM_VALUES = (0, 1, 2, 3, 4, 6, 8)
+
+
+@dataclass(frozen=True)
+class MemOpSpec:
+    """One memory op of a fuzzed region."""
+
+    is_store: bool
+    offset: int            # constant byte offset (or base for symbolic)
+    width: int
+    sym: Optional[str] = None   # symbolic term name (None = constant addr)
+    stride: int = 0             # coefficient of the symbolic term
+    slow: int = 0               # fdiv-chain length delaying a store value
+    late_addr: bool = False     # address arrival gated on a prior load
+    value_from_load: bool = False  # store value derived from a prior load
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """A fuzzed region: ops + invocation environments, fully declarative."""
+
+    name: str
+    ops: Tuple[MemOpSpec, ...]
+    envs: Tuple[Tuple[Tuple[str, int], ...], ...]  # sorted (key, value) pairs
+    size: int = 4096
+
+    def env_dicts(self) -> List[Dict[str, int]]:
+        return [dict(pairs) for pairs in self.envs]
+
+
+@dataclass
+class FuzzFailure:
+    """One backend disagreeing with an oracle on one region."""
+
+    spec: RegionSpec
+    system: str
+    oracle_ok: bool
+    sanitizer: SanitizerReport
+    shrunk_from: Optional[int] = None  # op count before shrinking
+
+    def describe(self) -> str:
+        parts = [f"{self.system} failed on {self.spec.name} "
+                 f"({len(self.spec.ops)} mem ops, {len(self.spec.envs)} inv)"]
+        if not self.oracle_ok:
+            parts.append("  golden-model mismatch (wrong load value or "
+                         "final memory image)")
+        if not self.sanitizer.ok:
+            for v in self.sanitizer.violations[:5]:
+                parts.append(f"  {v}")
+        if self.shrunk_from is not None:
+            parts.append(f"  (shrunk from {self.shrunk_from} ops)")
+        return "\n".join(parts)
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of a fuzzing campaign."""
+
+    regions: int = 0
+    runs: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+def generate_spec(seed: int, index: int) -> RegionSpec:
+    """Region *index* of campaign *seed* (deterministic)."""
+    rng = random.Random(seed * 1_000_003 + index)
+    n_ops = rng.randint(3, 8)
+    ops: List[MemOpSpec] = []
+    syms: List[str] = []
+    for i in range(n_ops):
+        is_store = rng.random() < 0.55
+        width = rng.choice(WIDTHS)
+        mode = rng.random()
+        if mode < 0.3 and ops:
+            # Exact collision: clone an earlier op's address so MUST
+            # pairs (and FORWARD edges) form; this is what arms the
+            # forward-chain patterns.
+            prev = rng.choice(ops)
+            spec = MemOpSpec(
+                is_store=is_store,
+                offset=prev.offset,
+                width=prev.width,
+                sym=prev.sym,
+                stride=prev.stride,
+            )
+        elif mode < 0.55 and (syms or rng.random() < 0.7):
+            # Symbolic offset: reuse a sym for dense MAY graphs, or mint
+            # a fresh one.
+            if syms and rng.random() < 0.6:
+                sym = rng.choice(syms)
+            else:
+                sym = f"s{len(syms)}"
+                syms.append(sym)
+            spec = MemOpSpec(
+                is_store=is_store,
+                offset=rng.choice((0, 4, 8, 56, 60)),
+                width=width,
+                sym=sym,
+                stride=rng.choice((1, 2, 4, 8)),
+            )
+        else:
+            spec = MemOpSpec(
+                is_store=is_store,
+                offset=rng.choice(OFFSET_POOL),
+                width=width,
+            )
+        if is_store and rng.random() < 0.4:
+            spec = replace(spec, slow=rng.randint(2, 6))
+        if is_store and rng.random() < 0.35:
+            # Forward-chain pressure: a store whose value rides on a
+            # prior load couples that load's (possibly forwarded)
+            # completion into this store's issue time.
+            spec = replace(spec, value_from_load=True)
+        if rng.random() < 0.2:
+            spec = replace(spec, late_addr=True)
+        ops.append(spec)
+    if not any(o.is_store for o in ops):
+        ops[rng.randrange(len(ops))] = replace(ops[0], is_store=True)
+
+    n_inv = rng.choice((1, 1, 2, 3))
+    envs = []
+    for _ in range(n_inv):
+        env = {"x": rng.randrange(1, 1 << 16)}
+        for s in syms:
+            env[s] = rng.choice(SYM_VALUES)
+        envs.append(tuple(sorted(env.items())))
+    return RegionSpec(name=f"fuzz-{seed}-{index}", ops=ops_tuple(ops), envs=tuple(envs))
+
+
+def ops_tuple(ops: Sequence[MemOpSpec]) -> Tuple[MemOpSpec, ...]:
+    return tuple(ops)
+
+
+def build_graph(spec: RegionSpec):
+    """Materialize a RegionSpec as a fresh DFGraph (no MDEs installed)."""
+    obj = MemObject("a", spec.size, base_addr=0x1000)
+    b = RegionBuilder(spec.name)
+    x = b.input("x")
+    last_load = None
+    for i, m in enumerate(spec.ops):
+        if m.sym is not None:
+            expr = AffineExpr.of(const=m.offset, syms={Sym(m.sym): m.stride})
+        else:
+            expr = AffineExpr.constant(m.offset)
+        inputs: List = []
+        if m.late_addr and last_load is not None:
+            inputs = [b.gep(last_load)]
+        if m.is_store:
+            base_v = last_load if (m.value_from_load and last_load is not None) else x
+            v = b.add(base_v, b.const(i + 1))
+            for _ in range(m.slow):
+                v = b.fdiv(v, x)
+            b.store(obj, expr, value=v, width=m.width, inputs=inputs)
+        else:
+            last_load = b.load(obj, expr, width=m.width, inputs=inputs)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Differential execution
+# ----------------------------------------------------------------------
+def run_spec(
+    spec: RegionSpec, system: str
+) -> Tuple[bool, SanitizerReport]:
+    """Run one region under one backend; return (oracle_ok, sanitizer)."""
+    graph = build_graph(spec)
+    if system in NEEDS_MDES:
+        compile_region(graph)
+    else:
+        graph.clear_mdes()
+    tracer = Tracer()
+    engine = DataflowEngine(
+        graph,
+        place_region(graph),
+        MemoryHierarchy(),
+        BACKENDS[system](),
+        tracer=tracer,
+    )
+    envs = spec.env_dicts()
+    result = engine.run(envs)
+    golden = golden_execute(graph, envs)
+    oracle_ok = golden.matches(result.load_values, result.memory_image)
+    report = sanitize_trace(
+        tracer.events, graph, system, region=spec.name
+    )
+    return oracle_ok, report
+
+
+def check_spec(spec: RegionSpec, systems: Sequence[str]) -> List[FuzzFailure]:
+    failures = []
+    for system in systems:
+        oracle_ok, report = run_spec(spec, system)
+        if not oracle_ok or not report.ok:
+            failures.append(FuzzFailure(spec, system, oracle_ok, report))
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+def _still_fails(spec: RegionSpec, system: str) -> bool:
+    try:
+        oracle_ok, report = run_spec(spec, system)
+    except Exception:
+        return False  # a repro must fail the oracles, not crash elsewhere
+    return not oracle_ok or not report.ok
+
+
+def shrink(
+    spec: RegionSpec,
+    system: str,
+    fails: Optional[Callable[[RegionSpec, str], bool]] = None,
+) -> RegionSpec:
+    """Greedy delta-debugging to a locally-minimal failing region.
+
+    ``fails`` defaults to the differential check (:func:`run_spec` with
+    the golden oracle and sanitizer); tests may supply their own
+    predicate to exercise the shrink loop in isolation.
+    """
+    if fails is None:
+        fails = _still_fails
+    current = spec
+    changed = True
+    while changed:
+        changed = False
+        # Drop whole memory ops.
+        for i in range(len(current.ops)):
+            if len(current.ops) <= 2:
+                break
+            cand = replace(
+                current, ops=current.ops[:i] + current.ops[i + 1:]
+            )
+            if fails(cand, system):
+                current, changed = cand, True
+                break
+        if changed:
+            continue
+        # Truncate invocations.
+        if len(current.envs) > 1:
+            cand = replace(current, envs=current.envs[:1])
+            if fails(cand, system):
+                current, changed = cand, True
+                continue
+        # Simplify op attributes: drop slow chains, late addresses,
+        # symbolic terms (freezing them at their first env value).
+        env0 = dict(current.envs[0]) if current.envs else {}
+        for i, m in enumerate(current.ops):
+            cands = []
+            if m.slow:
+                cands.append(replace(m, slow=0))
+            if m.late_addr:
+                cands.append(replace(m, late_addr=False))
+            if m.value_from_load:
+                cands.append(replace(m, value_from_load=False))
+            if m.sym is not None:
+                frozen = m.offset + m.stride * env0.get(m.sym, 0)
+                cands.append(replace(m, sym=None, stride=0, offset=frozen))
+            for cand_op in cands:
+                cand = replace(
+                    current,
+                    ops=current.ops[:i] + (cand_op,) + current.ops[i + 1:],
+                )
+                if fails(cand, system):
+                    current, changed = cand, True
+                    break
+            if changed:
+                break
+    return current
+
+
+# ----------------------------------------------------------------------
+# Campaign driver
+# ----------------------------------------------------------------------
+def fuzz(
+    count: int,
+    seed: int = 0,
+    systems: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    shrink_failures: bool = True,
+    max_failures: int = 5,
+) -> FuzzResult:
+    """Run *count* regions through the differential harness."""
+    systems = list(systems) if systems else sorted(BACKENDS)
+    for s in systems:
+        if s not in BACKENDS:
+            raise ValueError(
+                f"unknown system {s!r}; expected one of {sorted(BACKENDS)}"
+            )
+    result = FuzzResult()
+    for k in range(count):
+        if progress is not None:
+            progress(k, count)
+        spec = generate_spec(seed, k)
+        result.regions += 1
+        result.runs += len(systems)
+        for failure in check_spec(spec, systems):
+            if shrink_failures:
+                n_before = len(failure.spec.ops)
+                small = shrink(failure.spec, failure.system)
+                oracle_ok, report = run_spec(small, failure.system)
+                failure = FuzzFailure(
+                    small, failure.system, oracle_ok, report,
+                    shrunk_from=n_before,
+                )
+            result.failures.append(failure)
+            if len(result.failures) >= max_failures:
+                return result
+    return result

@@ -153,3 +153,68 @@ class TestLSQInternals:
         times = [backend._alloc_slot(0, bank=0) for _ in range(4)]
         # Two per cycle: 0, 0, 1, 1.
         assert times == [0, 0, 1, 1]
+
+    def test_bloom_remove_before_insert_is_harmless(self):
+        """Removing an address that was never inserted (or whose counter
+        already drained) must not raise and must not corrupt counts for
+        later inserts sharing the same buckets."""
+        from repro.sim.backends.lsq import _Bloom
+
+        bloom = _Bloom(bits=64, hashes=2)
+        bloom.remove(10)  # regression: used to KeyError on missing bucket
+        assert not bloom.probe(10)
+        bloom.insert(10)
+        assert bloom.probe(10)
+        bloom.remove(10)
+        bloom.remove(10)  # second drain of the same address
+        assert not bloom.probe(10)
+        bloom.insert(10)
+        assert bloom.probe(10)  # counters did not go negative
+
+    def test_maybe_execute_store_honors_now(self):
+        """A store released by a conflicting access's completion must not
+        issue before that completion (regression: ``now`` was dropped from
+        the issue-time max, so stores whose ``_resume_time`` had not been
+        refreshed issued at their stale ready time)."""
+        from repro.sim.backends.lsq import LSQConfig, OptLSQBackend
+
+        a = MemObject("a", 4096, base_addr=0x1000)
+        b = RegionBuilder()
+        x = b.input("x")
+        st = b.store(a, AffineExpr.constant(0), value=x)
+        g = b.build()
+        g.clear_mdes()
+
+        issued = []
+
+        class FakeEngine:
+            def do_store(self, op, t):
+                issued.append((op.op_id, t))
+
+            def schedule(self, t, fn):
+                pass
+
+        backend = OptLSQBackend(LSQConfig())
+        backend.engine = FakeEngine()
+        backend.graph = g
+        oid = st.op_id
+        backend._store_waits[oid] = set()
+        backend._issue_time[oid] = 0
+        backend._value_ready[oid] = 0
+        backend._maybe_execute_store(oid, now=42)
+        assert issued == [(oid, 42 + backend.config.pipeline_penalty)]
+
+
+class TestSpecLSQInternals:
+    def test_store_observed_at_exact_speculation_cycle(self):
+        """The engine publishes a store draining at cycle T before a read
+        scheduled at T runs, so completion == t_spec is *observed*, not a
+        violation (regression: strict `<` forced a spurious replay)."""
+        from repro.sim.backends.spec_lsq import SpecLSQBackend
+
+        backend = SpecLSQBackend()
+        backend._completed = {7: 10}
+        assert backend._store_observed_by(7, 10)
+        assert backend._store_observed_by(7, 11)
+        assert not backend._store_observed_by(7, 9)
+        assert not backend._store_observed_by(8, 10)  # never completed

@@ -174,6 +174,23 @@ def three_store_race():
     return b.build()
 
 
+def forward_chain_straddle():
+    """ST->LD forwarding chain feeding a store on a *different*, warmer
+    line: the forwarded value arrives long before the source store's
+    cold straddling write publishes, so treating the FORWARD edge as
+    publish-ordering (the old stage-3 pruning) lets the younger store
+    publish first and drops the ordering edge the chain still needs."""
+    a = _arr()
+    b = RegionBuilder("fwd-chain-straddle")
+    x = b.input("x")
+    b.load(a, AffineExpr.constant(64))               # warms line 1
+    b.store(a, AffineExpr.constant(60), value=x)     # straddles, line 0 cold
+    ld = b.load(a, AffineExpr.constant(60))          # forwarded from above
+    v = b.add(ld, b.const(1))
+    b.store(a, AffineExpr.constant(64), value=v, width=2)  # line 1, fast
+    return b.build()
+
+
 LITMUS = {
     "st_ld_exact": (st_ld_exact, [{}]),
     "st_ld_slow_store_value": (st_ld_slow_store_value, [{}]),
@@ -187,6 +204,7 @@ LITMUS = {
     "sym_same_slot_hit": (sym_same_slot, [{"s1": 3, "s2": 3}]),
     "sym_same_slot_miss": (sym_same_slot, [{"s1": 3, "s2": 7}]),
     "three_store_race": (three_store_race, [{}]),
+    "forward_chain_straddle": (forward_chain_straddle, [{}]),
 }
 
 
@@ -203,3 +221,40 @@ def test_litmus_repeated_invocations(backend):
     warm, LSQ/bloom state reset, predictors trained)."""
     for name, (build_fn, envs) in LITMUS.items():
         check(build_fn, backend, envs * 4)
+
+
+def test_same_cycle_drain_order():
+    """Pins the engine's same-cycle semantics that backend tie-breaks
+    (e.g. spec-lsq's ``_store_observed_by`` with ``<=``) rely on: events
+    scheduled for the same cycle drain in FIFO scheduling order, and a
+    store publishes to value memory at its completion instant — so a
+    publish drained before a read at the same cycle *is* observed, and
+    one drained after is not."""
+    a = _arr()
+    b = RegionBuilder("same-cycle")
+    x = b.input("x")
+    b.store(a, AffineExpr.constant(0), value=x)
+    g = b.build()
+    g.clear_mdes()
+    engine = DataflowEngine(
+        g, place_region(g), MemoryHierarchy(), SerialMemBackend()
+    )
+
+    order = []
+    seen = {}
+    engine.schedule(5, lambda: order.append("a"))
+    engine.schedule(5, lambda: order.append("b"))
+    # publish-then-read at cycle 7: the read observes the store.
+    engine.schedule(7, lambda: engine.memory.store(0x1000, 8, 99))
+    engine.schedule(7, lambda: seen.__setitem__("after", engine.memory.load(0x1000, 8)))
+    # read-then-publish at cycle 9: the read observes the *old* value.
+    engine.schedule(9, lambda: seen.__setitem__("before", engine.memory.load(0x1000, 8)))
+    engine.schedule(9, lambda: engine.memory.store(0x1000, 8, 123))
+    engine._drain_events()
+
+    from repro.sim.values import forwarded_value
+
+    assert order == ["a", "b"]
+    assert seen["after"] == forwarded_value(99, 8)
+    assert seen["before"] == forwarded_value(99, 8)  # not yet 123's image
+    assert engine.memory.load(0x1000, 8) == forwarded_value(123, 8)

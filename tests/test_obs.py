@@ -153,6 +153,39 @@ def test_backend_counts_reproduce_stats(backend):
     )
 
 
+def may_partial_pair():
+    """Store/load whose symbolic windows can overlap *partially* (never
+    exactly), so a runtime conflict serializes instead of forwarding."""
+    a = MemObject("a", 8192, base_addr=0x1000)
+    b = RegionBuilder("may-partial")
+    x = b.input("x")
+    b.store(a, AffineExpr.of(syms={Sym("s1"): 8}), value=x, width=8)
+    b.load(a, AffineExpr.of(syms={Sym("s2"): 4}, const=4), width=4)
+    return b.build()
+
+
+@pytest.mark.parametrize("backend", ["nachos", "nachos-sw"])
+def test_backend_counts_contract_partial_overlap_serialization(backend):
+    """The conflicting-MAY *serialization* path (partial overlap, no
+    exact match to forward from) also keeps the one-event-per-counter
+    contract: the order-wait counter bumped when the younger op stalls
+    behind the flagged store has a matching ORDER_WAIT event."""
+    tracer = Tracer()
+    # s1=1, s2=1: store [8,16), load [8,12) — conflict, not exact.
+    # s1=1, s2=5: store [8,16), load [24,28) — disjoint.
+    envs = [{"s1": 1, "s2": 1}, {"s1": 1, "s2": 5}] * 2
+    _, _, sim = run_traced(backend, envs, build_fn=may_partial_pair,
+                           tracer=tracer)
+    assert backend_counts(tracer.events) == sim.backend_stats.as_dict(
+        rates=False
+    )
+    if backend == "nachos":
+        assert sim.backend_stats.comparator_conflicts == 2
+        assert not tracer.of_kind(RUNTIME_FORWARD)
+        assert sim.backend_stats.order_waits >= 2
+        assert len(tracer.of_kind(ORDER_WAIT)) == sim.backend_stats.order_waits
+
+
 # ---------------------------------------------------------------------------
 # Chrome-trace export
 # ---------------------------------------------------------------------------
