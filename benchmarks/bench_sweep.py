@@ -12,6 +12,8 @@ Modes::
     python benchmarks/bench_sweep.py --quick        # CI smoke: 2 regions x 3 systems
     python benchmarks/bench_sweep.py --jobs 4       # fan the sweep across workers
     python benchmarks/bench_sweep.py --quick --check-warm-vs BENCH_sweep_quick.json
+    python benchmarks/bench_sweep.py --quick --jobs 4 \
+        --chaos 'crash=0.12,hang=0.08,corrupt=0.08,seed=7,hang_s=60'
 
 The ``--quick`` smoke sweep is what CI runs on every push: two micro
 regions through all three paper systems, parallel, cache on, then a
@@ -21,6 +23,12 @@ warm re-run that must be 100% cache-served and identical.
 the warm run must stay within 10% (plus a small absolute slack for
 machine noise) of a committed reference report's ``warm_seconds`` — a
 regression here means the disabled-tracer path stopped being free.
+
+``--chaos SPEC`` adds a third run on a fresh cache with the given
+fault-injection profile active (``NACHOS_CHAOS``); workers crash, hang
+past the timeout, and return corrupt results, yet the supervised
+executor must recover and produce output byte-identical to the
+fault-free cold run.
 """
 
 from __future__ import annotations
@@ -162,6 +170,13 @@ def main(argv=None) -> int:
         default=0.10,
         help="relative warm-time regression tolerance for --check-warm-vs",
     )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="also run once under this NACHOS_CHAOS fault profile on a "
+        "fresh cache; output must match the fault-free cold run",
+    )
     parser.add_argument("--child-quick", action="store_true", help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
@@ -186,6 +201,26 @@ def main(argv=None) -> int:
         print(f"[warm: {warm_s:.1f}s]")
 
         identical = _strip_timing(cold_out) == _strip_timing(warm_out)
+
+        chaos_identical = None
+        chaos_s = None
+        if args.chaos:
+            # Fresh cache so every task really executes (and really gets
+            # crashed/hung/corrupted) rather than being cache-served.
+            chaos_cache = Path(tempfile.mkdtemp(prefix="nachos-bench-chaos-"))
+            try:
+                chaos_env = _child_env(chaos_cache, args.jobs)
+                chaos_env["NACHOS_CHAOS"] = args.chaos
+                chaos_env.setdefault("NACHOS_TIMEOUT", "10")
+                chaos_env.setdefault("NACHOS_MAX_RETRIES", "3")
+                chaos_env.setdefault("NACHOS_BACKOFF_BASE", "0.05")
+                print(f"[chaos run: NACHOS_CHAOS={args.chaos}]")
+                chaos_s, chaos_out = _timed_run(cmd, chaos_env)
+                print(f"[chaos: {chaos_s:.1f}s]")
+                chaos_identical = _strip_timing(chaos_out) == _strip_timing(cold_out)
+            finally:
+                shutil.rmtree(chaos_cache, ignore_errors=True)
+
         stats = _cache_stats(cache_dir)
         report = {
             "mode": "quick" if args.quick else "full",
@@ -203,10 +238,20 @@ def main(argv=None) -> int:
             "outputs_identical_cold_vs_warm": identical,
             "cache": stats,
         }
+        if args.chaos:
+            report["chaos_spec"] = args.chaos
+            report["chaos_seconds"] = round(chaos_s, 2)
+            report["outputs_identical_chaos_vs_cold"] = chaos_identical
         Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
         print(json.dumps(report, indent=2))
         if not identical:
             print("FAIL: warm output differs from cold output", file=sys.stderr)
+            return 1
+        if args.chaos and not chaos_identical:
+            print(
+                "FAIL: chaos-run output differs from the fault-free cold run",
+                file=sys.stderr,
+            )
             return 1
         if not args.quick and SEED_SERIAL_SECONDS / warm_s < 3.0:
             print("FAIL: warm sweep is not >= 3x the seed baseline", file=sys.stderr)

@@ -10,6 +10,14 @@ Usage::
     nachos-repro fig11 --invocations 60
     nachos-repro fig11 --no-cache      # force a cold run
     nachos-repro fig11 --metrics m.json  # dump the metrics registry
+    nachos-repro all --jobs 4 --timeout 300 --max-retries 3
+                                       # supervised: hung tasks killed,
+                                       # crashed workers replaced, retried
+    nachos-repro all --resume          # continue a killed/crashed sweep
+                                       # from its checkpoint journal
+    nachos-repro all --failure-report failures.json
+                                       # degrade to partial results +
+                                       # machine-readable report
     nachos-repro cache stats           # hit/miss counters, size
     nachos-repro cache clear           # drop every cached result
     nachos-repro trace bzip2 --system nachos --out trace.json
@@ -28,13 +36,19 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import hashlib
+import json
 import sys
 import time
 from pathlib import Path
 from typing import Callable, Dict, Tuple
 
-from repro.runtime.cache import configure_cache, get_cache
-from repro.runtime.executor import set_jobs
+from repro.runtime.cache import configure_cache, default_cache_dir, get_cache
+from repro.runtime.checkpoint import configure_checkpoint, get_checkpoint
+from repro.runtime.executor import get_policy, set_jobs, set_policy
+from repro.runtime.fingerprint import CACHE_SCHEMA
+from repro.runtime.retry import SweepError
 
 from repro.experiments import (
     allpaths,
@@ -129,6 +143,42 @@ def main(argv=None) -> int:
         help="ignore the on-disk result cache (force a cold run)",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget; hung workers are killed and the "
+        "task retried (parallel sweeps only; default $NACHOS_TIMEOUT or off)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a crashed/hung/corrupt/raising task up to N times with "
+        "deterministic exponential backoff (default $NACHOS_MAX_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="journal completed sweep tasks to a checkpoint and resume from "
+        "it — rerun the same command after a crash/SIGKILL to continue",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="explicit checkpoint location (implies --resume semantics; "
+        "default derives from the experiment names, or $NACHOS_CHECKPOINT_DIR)",
+    )
+    parser.add_argument(
+        "--failure-report",
+        default=None,
+        metavar="PATH",
+        help="where to write the machine-readable per-task failure report "
+        "when tasks fail after retries (default nachos-failure-report.json)",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help="cache root (default ~/.cache/nachos-repro or $NACHOS_CACHE_DIR)",
@@ -195,6 +245,24 @@ def main(argv=None) -> int:
             root=Path(args.cache_dir) if args.cache_dir else None,
             enabled=False if args.no_cache else None,
         )
+    if args.timeout is not None or args.max_retries is not None:
+        base = get_policy()
+        set_policy(
+            dataclasses.replace(
+                base,
+                timeout=(
+                    args.timeout if args.timeout and args.timeout > 0
+                    else None
+                )
+                if args.timeout is not None
+                else base.timeout,
+                max_retries=(
+                    max(0, args.max_retries)
+                    if args.max_retries is not None
+                    else base.max_retries
+                ),
+            )
+        )
 
     names = args.experiments or ["list"]
     if names and names[0] == "cache":
@@ -220,19 +288,35 @@ def main(argv=None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
 
+    _configure_checkpoint_for(names, args)
+
     stage_seconds = {}
     if args.metrics:
         from repro.obs import enable_profiling
 
         enable_profiling()
 
+    failed: Dict[str, dict] = {}
     for name in names:
         run, render, takes_inv = EXPERIMENTS[name]
         start = time.time()
-        if takes_inv and args.invocations is not None:
-            result = run(invocations=args.invocations)
-        else:
-            result = run()
+        try:
+            if takes_inv and args.invocations is not None:
+                result = run(invocations=args.invocations)
+            else:
+                result = run()
+        except SweepError as exc:
+            # Graceful degradation: record the per-task failures and move
+            # on to the remaining figures instead of aborting the set.
+            stage_seconds[name] = time.time() - start
+            failed[name] = exc.outcome.as_report()
+            print(
+                f"[{name}: FAILED — "
+                f"{len(exc.outcome.failures)} task(s) exhausted retries; "
+                f"continuing with the remaining experiments]",
+                file=sys.stderr,
+            )
+            continue
         stage_seconds[name] = time.time() - start
         print(render(result))
         print(f"[{name}: {stage_seconds[name]:.1f}s]")
@@ -252,7 +336,61 @@ def main(argv=None) -> int:
             f"[cache: {cache.hits}/{total} hits this run "
             f"({100.0 * cache.hits / total:.0f}%)]"
         )
+
+    if failed:
+        report_path = args.failure_report or "nachos-failure-report.json"
+        _write_failure_report(report_path, names, failed)
+        print(
+            f"[{len(failed)}/{len(names)} experiment(s) degraded to partial "
+            f"results; failure report written to {report_path}]",
+            file=sys.stderr,
+        )
+        return 3
+
+    checkpoint = get_checkpoint()
+    if checkpoint is not None and checkpoint.entries():
+        checkpoint.clear()
+        print(f"[checkpoint {checkpoint.root} cleared — run complete]")
     return 0
+
+
+def _configure_checkpoint_for(names, args) -> None:
+    """Point the sweep checkpoint at a journal for this figure set.
+
+    ``--checkpoint-dir`` wins; ``--resume`` derives a stable location from
+    the experiment names + invocations + cache schema, so rerunning the
+    same command after a crash finds the same journal.  Without either,
+    ``$NACHOS_CHECKPOINT_DIR`` (handled by :func:`get_checkpoint`) or no
+    checkpointing at all.
+    """
+    if args.checkpoint_dir:
+        configure_checkpoint(Path(args.checkpoint_dir))
+        return
+    if not args.resume:
+        return
+    digest = hashlib.sha256(
+        "|".join(
+            [f"schema={CACHE_SCHEMA}", f"inv={args.invocations}"]
+            + sorted(names)
+        ).encode()
+    ).hexdigest()[:16]
+    root = default_cache_dir() / "checkpoints" / digest
+    configure_checkpoint(root)
+    print(f"[resume: checkpoint journal at {root}]")
+
+
+def _write_failure_report(path: str, names, failed: Dict[str, dict]) -> None:
+    """Machine-readable per-task failure report for degraded runs."""
+    payload = {
+        "schema": 1,
+        "tool": "nachos-repro",
+        "experiments": list(names),
+        "completed": [n for n in names if n not in failed],
+        "failed": failed,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def _dump_metrics(path: str, stage_seconds: Dict[str, float]) -> None:
@@ -415,16 +553,26 @@ def _profile_command(rest, args) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
 
+    _configure_checkpoint_for(names, args)
     profile = enable_profiling()
     cache = get_cache()
     stage_seconds: Dict[str, float] = {}
+    failed: Dict[str, dict] = {}
     for name in names:
         run, _render, takes_inv = EXPERIMENTS[name]
         start = time.time()
-        if takes_inv and args.invocations is not None:
-            run(invocations=args.invocations)
-        else:
-            run()
+        try:
+            if takes_inv and args.invocations is not None:
+                run(invocations=args.invocations)
+            else:
+                run()
+        except SweepError as exc:
+            failed[name] = exc.outcome.as_report()
+            print(
+                f"[{name}: FAILED — "
+                f"{len(exc.outcome.failures)} task(s) exhausted retries]",
+                file=sys.stderr,
+            )
         stage_seconds[name] = time.time() - start
 
     print("per-stage wall time:")
@@ -451,8 +599,25 @@ def _profile_command(rest, args) -> int:
     if total:
         print(f"\ncache: {cache.hits}/{total} hits "
               f"({100.0 * cache.hits / total:.0f}%)")
+
+    counts = profile.fault_counts()
+    if counts or profile.checkpoint_hits:
+        print("\nsupervision:")
+        for kind in sorted(counts):
+            print(f"  {kind + ' faults':<18} {counts[kind]}")
+        print(f"  {'retries':<18} {profile.retries}")
+        print(f"  {'terminal failures':<18} {len(profile.failures)}")
+        if profile.checkpoint_hits:
+            print(f"  {'checkpoint hits':<18} {profile.checkpoint_hits}")
+
     if args.metrics:
         _dump_metrics(args.metrics, stage_seconds)
+
+    if failed:
+        report_path = args.failure_report or "nachos-failure-report.json"
+        _write_failure_report(report_path, names, failed)
+        print(f"[failure report written to {report_path}]", file=sys.stderr)
+        return 3
     return 0
 
 

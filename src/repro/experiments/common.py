@@ -160,6 +160,36 @@ def workload_fingerprint(workload: Workload) -> str:
     return fp
 
 
+def task_fingerprint(
+    workload: Workload,
+    system: str,
+    invocations: int,
+    warm: bool = True,
+    kwargs: Optional[Dict] = None,
+) -> str:
+    """Content fingerprint of one sweep task (checkpoint journal key).
+
+    Depends only on what determines the task's result — the pristine
+    region graph, the system, the invocation count, warmup, and any
+    config overrides — never on task order or process accidents, so a
+    resumed sweep (:mod:`repro.runtime.checkpoint`) recognizes completed
+    work across runs and even across figures that share tasks.
+    ``check`` is deliberately excluded: correctness is part of the
+    simulated record either way (see :func:`run_system`).
+    """
+    parts = [
+        "sweeptask",
+        workload_fingerprint(workload),
+        system,
+        str(int(invocations)),
+        "warm" if warm else "cold",
+    ]
+    for key in sorted(kwargs or {}):
+        parts.append(key)
+        parts.append(config_fingerprint((kwargs or {})[key]))
+    return combine(*parts)
+
+
 def _bare_graph(workload: Workload, wfp: str) -> DFGraph:
     """The workload graph with MDEs stripped (runtime-only systems)."""
     graph = _bare_memo.get(wfp)

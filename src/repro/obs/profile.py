@@ -1,9 +1,12 @@
 """Wall-clock profiling of the sweep runtime.
 
-The executor (:mod:`repro.runtime.executor`) reports one
+The supervised executor (:mod:`repro.runtime.executor`) reports one
 :class:`TaskRecord` per simulation task — region, system, wall seconds,
 the worker that ran it, and the task's result-cache hit/miss delta —
-plus one :class:`SweepRecord` per ``run_tasks`` batch.  Recording is
+plus one :class:`SweepRecord` per ``run_tasks`` batch, one
+:class:`FaultRecord` per failed attempt (worker crash, timeout, corrupt
+result, task error), one :class:`FailureRecord` per task that exhausted
+its retries, and the count of tasks served from the sweep checkpoint.  Recording is
 off by default (``enable()`` flips it; the disabled check is one module
 attribute load per batch), so ordinary sweeps pay nothing.
 
@@ -41,12 +44,41 @@ class SweepRecord:
 
 
 @dataclass
+class FaultRecord:
+    """One failed task *attempt* (the supervisor retried or gave up).
+
+    ``kind`` is a :data:`repro.runtime.retry.FAILURE_KINDS` value:
+    ``crash`` (worker died), ``timeout`` (hung past the deadline and was
+    killed), ``corrupt`` (result failed to unpickle), or ``error`` (the
+    task raised).
+    """
+
+    region: str
+    system: str
+    kind: str
+
+
+@dataclass
+class FailureRecord:
+    """One task that exhausted its retries (terminal failure)."""
+
+    region: str
+    system: str
+    kind: str
+    attempts: int
+    message: str = ""
+
+
+@dataclass
 class SweepProfile:
     """Accumulates task/sweep records while enabled."""
 
     enabled: bool = False
     tasks: List[TaskRecord] = field(default_factory=list)
     sweeps: List[SweepRecord] = field(default_factory=list)
+    faults: List[FaultRecord] = field(default_factory=list)
+    failures: List[FailureRecord] = field(default_factory=list)
+    checkpoint_hits: int = 0
 
     # -- recording (called by the executor) -----------------------------
     def record_task(
@@ -62,6 +94,18 @@ class SweepProfile:
 
     def record_sweep(self, tasks: int, jobs: int, wall_seconds: float) -> None:
         self.sweeps.append(SweepRecord(tasks, jobs, wall_seconds))
+
+    def record_fault(self, region: str, system: str, kind: str) -> None:
+        self.faults.append(FaultRecord(region, system, kind))
+
+    def record_failure(
+        self, region: str, system: str, kind: str, attempts: int,
+        message: str = "",
+    ) -> None:
+        self.failures.append(FailureRecord(region, system, kind, attempts, message))
+
+    def record_checkpoint_hits(self, n: int = 1) -> None:
+        self.checkpoint_hits += n
 
     # -- rollups ---------------------------------------------------------
     @property
@@ -96,9 +140,24 @@ class SweepProfile:
         offered = sum(s.wall_seconds * max(s.jobs, 1) for s in self.sweeps)
         return self.task_seconds / offered if offered else 0.0
 
+    def fault_counts(self) -> Dict[str, int]:
+        """kind -> failed-attempt count (retried and terminal alike)."""
+        out: Dict[str, int] = {}
+        for f in self.faults:
+            out[f.kind] = out.get(f.kind, 0) + 1
+        return out
+
+    @property
+    def retries(self) -> int:
+        """Failed attempts that were retried (terminal ones excluded)."""
+        return len(self.faults) - len(self.failures)
+
     def reset(self) -> None:
         self.tasks.clear()
         self.sweeps.clear()
+        self.faults.clear()
+        self.failures.clear()
+        self.checkpoint_hits = 0
 
 
 # ----------------------------------------------------------------------

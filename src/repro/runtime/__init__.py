@@ -1,13 +1,27 @@
-"""Sweep execution runtime: caching, fingerprints, and the process pool.
+"""Sweep execution runtime: caching, fingerprints, and the supervised pool.
 
 Import graph note: :mod:`repro.experiments.common` imports the cache and
 fingerprint submodules, and :mod:`repro.runtime.executor` imports
-``run_system`` lazily inside the worker function — keep it that way to
-avoid an import cycle.
+``run_system`` / ``task_fingerprint`` lazily inside worker/key functions
+— keep it that way to avoid an import cycle.
 """
 
 from repro.runtime.cache import ResultCache, configure_cache, get_cache
-from repro.runtime.executor import SimTask, get_jobs, run_tasks, set_jobs
+from repro.runtime.chaos import ChaosSpec, get_chaos, parse_chaos, set_chaos
+from repro.runtime.checkpoint import (
+    SweepCheckpoint,
+    configure_checkpoint,
+    get_checkpoint,
+)
+from repro.runtime.executor import (
+    SimTask,
+    get_jobs,
+    get_policy,
+    run_tasks,
+    run_tasks_detailed,
+    set_jobs,
+    set_policy,
+)
 from repro.runtime.fingerprint import (
     CACHE_SCHEMA,
     combine,
@@ -15,21 +29,45 @@ from repro.runtime.fingerprint import (
     envs_fingerprint,
     graph_fingerprint,
 )
+from repro.runtime.retry import (
+    RetryPolicy,
+    RetryScheduler,
+    SweepError,
+    SweepOutcome,
+    TaskFailure,
+    stable_unit,
+)
 from repro.runtime.sweep import sweep_comparisons, sweep_runs
 
 __all__ = [
     "CACHE_SCHEMA",
+    "ChaosSpec",
     "ResultCache",
+    "RetryPolicy",
+    "RetryScheduler",
     "SimTask",
+    "SweepCheckpoint",
+    "SweepError",
+    "SweepOutcome",
+    "TaskFailure",
     "combine",
     "config_fingerprint",
     "configure_cache",
+    "configure_checkpoint",
     "envs_fingerprint",
     "get_cache",
+    "get_chaos",
+    "get_checkpoint",
     "get_jobs",
+    "get_policy",
     "graph_fingerprint",
+    "parse_chaos",
     "run_tasks",
+    "run_tasks_detailed",
+    "set_chaos",
     "set_jobs",
+    "set_policy",
+    "stable_unit",
     "sweep_comparisons",
     "sweep_runs",
 ]

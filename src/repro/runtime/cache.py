@@ -73,13 +73,20 @@ class ResultCache:
         try:
             with open(path, "rb") as fh:
                 value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, ValueError):
+            # Truncated or garbage entries (crash mid-write, stale
+            # schema) demote to a recomputable miss, never an error.
             self._count(hit=False)
             return _MISS
         self._count(hit=True)
         return value
 
     def put(self, key: str, value: Any) -> None:
+        """Store *value* crash-consistently: tmp + fsync + rename, so a
+        process killed mid-put leaves either the complete entry or none
+        (a later :meth:`get` of a partial file reads as a miss either
+        way)."""
         if not self.enabled:
             return
         path = self._object_path(key)
@@ -88,6 +95,8 @@ class ResultCache:
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except OSError:
             try:

@@ -1,0 +1,169 @@
+"""Sweep checkpointing: survive a killed run, resume where it stopped.
+
+A :class:`SweepCheckpoint` is a run-scoped journal of completed task
+results, keyed by the same content fingerprints as the result cache
+(see :func:`repro.experiments.common.task_fingerprint`).  The
+supervised executor consults it before scheduling each task and records
+every completion into it with an atomic write-temp-fsync-rename, so a
+SIGKILL at any instant leaves either a fully valid entry or none — a
+resumed sweep (``nachos-repro ... --resume``) replays completed tasks
+from the journal and only runs what is left.
+
+Because keys are content-addressed (and carry ``CACHE_SCHEMA``), a
+stale checkpoint can never serve a wrong result — at worst it serves
+nothing.  Terminal failures are appended to ``failures.jsonl`` so a
+degraded run leaves a machine-readable trail next to its results.
+
+The checkpoint root comes from ``NACHOS_CHECKPOINT_DIR`` or
+:func:`configure_checkpoint` (what the CLI's ``--resume`` /
+``--checkpoint-dir`` flags call).  Checkpointing is off when neither is
+set — the content-addressed result cache already makes plain re-runs
+warm; the journal exists for cache-disabled runs and for the failure
+trail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+CHECKPOINT_SCHEMA = 1
+
+_MISS = object()
+
+
+class SweepCheckpoint:
+    """Atomic on-disk journal of completed sweep tasks."""
+
+    MISS = _MISS
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.stores = 0
+
+    def _task_path(self, key: str) -> Path:
+        return self.root / "tasks" / key[:2] / f"{key}.pkl"
+
+    @property
+    def _failures_path(self) -> Path:
+        return self.root / "failures.jsonl"
+
+    # -- task results ----------------------------------------------------
+    def get(self, key: str) -> Any:
+        """The journaled result for *key*, or :data:`SweepCheckpoint.MISS`.
+
+        Defensive on every byte: a truncated or garbage entry (a crash
+        mid-write on a filesystem without atomic rename, a partial copy)
+        reads as a miss, never as a wrong result.
+        """
+        try:
+            with open(self._task_path(key), "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, ValueError):
+            return _MISS
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically journal one completed task (tmp + fsync + rename)."""
+        path = self._task_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            self.stores += 1
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- failure journal -------------------------------------------------
+    def record_failure(self, failure_dict: Dict[str, Any]) -> None:
+        """Append one terminal failure (JSON line, O_APPEND single write)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(failure_dict, sort_keys=True) + "\n"
+        try:
+            with open(self._failures_path, "a") as fh:
+                fh.write(line)
+        except OSError:
+            pass
+
+    def failures(self) -> List[Dict[str, Any]]:
+        out: List[Dict[str, Any]] = []
+        try:
+            with open(self._failures_path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        out.append(json.loads(line))
+        except (OSError, ValueError):
+            pass
+        return out
+
+    # -- manifest --------------------------------------------------------
+    def write_manifest(self, meta: Dict[str, Any]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": CHECKPOINT_SCHEMA, **meta}
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            os.replace(tmp, self.root / "manifest.json")
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def read_manifest(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.root / "manifest.json") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def entries(self) -> int:
+        tasks = self.root / "tasks"
+        if not tasks.is_dir():
+            return 0
+        return sum(1 for _ in tasks.rglob("*.pkl"))
+
+    def clear(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Process-wide checkpoint (None = checkpointing off)
+# ----------------------------------------------------------------------
+_active: Optional[SweepCheckpoint] = None
+_configured = False
+
+
+def configure_checkpoint(root: Optional[Path]) -> Optional[SweepCheckpoint]:
+    """Install (or with ``None``, remove) the process-wide checkpoint."""
+    global _active, _configured
+    _active = SweepCheckpoint(root) if root is not None else None
+    _configured = True
+    return _active
+
+
+def get_checkpoint() -> Optional[SweepCheckpoint]:
+    """The active checkpoint: the configured one, else ``NACHOS_CHECKPOINT_DIR``."""
+    if _configured:
+        return _active
+    env = os.environ.get("NACHOS_CHECKPOINT_DIR", "")
+    if env:
+        return SweepCheckpoint(Path(env).expanduser())
+    return None

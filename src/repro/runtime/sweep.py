@@ -5,6 +5,15 @@ equivalent of looping ``compare_systems``) or :func:`sweep_runs` for a
 flat list of single-system runs.  Task order — and therefore result
 order — is the deterministic row-major (workload, system) order, so
 figures render identically at any ``--jobs`` value.
+
+Both entry points run under the supervised executor
+(:mod:`repro.runtime.executor`): tasks that crash a worker, hang past
+the per-task timeout, or return corrupt results are retried with
+deterministic backoff, and completed work is journaled into the active
+checkpoint so an interrupted sweep resumes.  When a task exhausts its
+retries, a :class:`~repro.runtime.retry.SweepError` propagates with the
+partial results attached — the CLI catches it per figure and degrades
+to a failure report instead of aborting the whole figure set.
 """
 
 from __future__ import annotations
@@ -12,13 +21,16 @@ from __future__ import annotations
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.runtime.executor import SimTask, run_tasks
+from repro.runtime.retry import RetryPolicy
 
 
 def sweep_runs(
-    tasks: Sequence[SimTask], jobs: Optional[int] = None
+    tasks: Sequence[SimTask],
+    jobs: Optional[int] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> List[Any]:
     """Run an explicit task list; results align index-for-index."""
-    return run_tasks(tasks, jobs=jobs)
+    return run_tasks(tasks, jobs=jobs, policy=policy)
 
 
 def sweep_comparisons(
@@ -28,6 +40,7 @@ def sweep_comparisons(
     check: bool = True,
     warm: bool = True,
     jobs: Optional[int] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> List[Any]:
     """``compare_systems`` for many workloads, fanned across the pool.
 
@@ -49,7 +62,7 @@ def sweep_comparisons(
         for w in workloads
         for system in systems
     ]
-    runs = run_tasks(tasks, jobs=jobs)
+    runs = run_tasks(tasks, jobs=jobs, policy=policy)
     out: List[Any] = []
     i = 0
     for w in workloads:

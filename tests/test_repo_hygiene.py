@@ -1,0 +1,67 @@
+"""Repository hygiene: no bulky generated artifacts sneak into git.
+
+A 408k-line ``trace.json`` once rode along in a commit; these tests make
+that class of accident fail CI instead of bloating every future clone.
+"""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Hard ceiling for any tracked file that is not an explicitly allowed
+#: data artifact.  Source files, docs, and committed bench references
+#: are all far below this.
+MAX_TRACKED_BYTES = 1024 * 1024
+
+#: Tracked files that are allowed to be data (still subject to the size
+#: ceiling — an allowlist entry is not a bloat license).
+ALLOWED_DATA = {"BENCH_sweep.json", "BENCH_sweep_quick.json"}
+
+
+def _tracked_files():
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "-z"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        pytest.skip("git unavailable")
+    if out.returncode != 0:
+        pytest.skip("not a git checkout")
+    return [f for f in out.stdout.split("\0") if f]
+
+
+def test_no_tracked_file_exceeds_size_ceiling():
+    offenders = []
+    for name in _tracked_files():
+        path = REPO_ROOT / name
+        try:
+            size = path.stat().st_size
+        except OSError:
+            continue  # deleted in the index but not yet committed
+        if size > MAX_TRACKED_BYTES:
+            offenders.append(f"{name} ({size / 1048576.0:.1f} MiB)")
+    assert not offenders, (
+        "tracked file(s) exceed 1 MiB — generated artifacts belong in "
+        ".gitignore, not in git: " + ", ".join(offenders)
+    )
+
+
+def test_trace_artifacts_are_not_tracked():
+    tracked = set(_tracked_files())
+    assert "trace.json" not in tracked, (
+        "trace.json is a regenerable trace dump (nachos-repro trace ...); "
+        "it must stay untracked"
+    )
+
+
+def test_gitignore_covers_generated_artifacts():
+    gitignore = (REPO_ROOT / ".gitignore").read_text()
+    for pattern in ("trace.json", "fuzz-repros/", "nachos-failure-report.json"):
+        assert pattern in gitignore, f".gitignore is missing {pattern!r}"

@@ -52,6 +52,28 @@ def test_corrupt_entry_is_a_miss(tmp_path):
     assert cache.get(key) is ResultCache.MISS
 
 
+def test_truncated_entry_is_a_miss_and_reputtable(tmp_path):
+    # A crash mid-write on a filesystem without atomic rename leaves a
+    # prefix of the pickle; reads must demote to a miss and a re-put
+    # must restore the entry.
+    cache = ResultCache(root=tmp_path, enabled=True)
+    key = combine("unit", "truncated")
+    cache.put(key, {"cycles": 99})
+    path = cache._object_path(key)
+    path.write_bytes(path.read_bytes()[:5])
+    assert cache.get(key) is ResultCache.MISS
+    cache.put(key, {"cycles": 99})
+    assert cache.get(key) == {"cycles": 99}
+
+
+def test_put_leaves_no_tmp_droppings(tmp_path):
+    cache = ResultCache(root=tmp_path, enabled=True)
+    for i in range(5):
+        cache.put(combine("unit", "tmp", str(i)), i)
+    leftovers = list(tmp_path.rglob("*.tmp"))
+    assert leftovers == []
+
+
 def test_disabled_cache_never_touches_disk(tmp_path):
     cache = ResultCache(root=tmp_path, enabled=False)
     key = combine("unit", "disabled")
