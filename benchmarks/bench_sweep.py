@@ -29,6 +29,12 @@ fault-injection profile active (``NACHOS_CHAOS``); workers crash, hang
 past the timeout, and return corrupt results, yet the supervised
 executor must recover and produce output byte-identical to the
 fault-free cold run.
+
+``--engine-compare`` adds a cold run on a fresh cache with
+``NACHOS_ENGINE=fast`` (the template-replaying engine) and pins the
+main cold/warm runs to the reference engine.  The fast run's output
+must be byte-identical — the engines are bit-exact by contract — and
+the report gains an ``engine_compare`` section with both cold times.
 """
 
 from __future__ import annotations
@@ -177,6 +183,12 @@ def main(argv=None) -> int:
         help="also run once under this NACHOS_CHAOS fault profile on a "
         "fresh cache; output must match the fault-free cold run",
     )
+    parser.add_argument(
+        "--engine-compare",
+        action="store_true",
+        help="also run cold under NACHOS_ENGINE=fast on a fresh cache; "
+        "output must match the reference cold run byte-for-byte",
+    )
     parser.add_argument("--child-quick", action="store_true", help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
@@ -191,6 +203,11 @@ def main(argv=None) -> int:
         else:
             cmd = [sys.executable, "-m", "repro.experiments.cli", "all"]
         env = _child_env(cache_dir, args.jobs)
+        if args.engine_compare:
+            # The comparison needs a known baseline: pin the main
+            # cold/warm runs to the reference engine even if the caller's
+            # environment says otherwise.
+            env["NACHOS_ENGINE"] = "reference"
 
         print(f"[cold run: jobs={args.jobs}, cache={cache_dir}]")
         cold_s, cold_out = _timed_run(cmd, env)
@@ -221,6 +238,23 @@ def main(argv=None) -> int:
             finally:
                 shutil.rmtree(chaos_cache, ignore_errors=True)
 
+        fast_s = None
+        fast_identical = None
+        if args.engine_compare:
+            # Fresh cache: fast-mode sim keys differ by design, but a
+            # shared cache would still serve compile/placement entries,
+            # making the two cold times incomparable.
+            fast_cache = Path(tempfile.mkdtemp(prefix="nachos-bench-fast-"))
+            try:
+                fast_env = _child_env(fast_cache, args.jobs)
+                fast_env["NACHOS_ENGINE"] = "fast"
+                print("[engine-compare run: NACHOS_ENGINE=fast, fresh cache]")
+                fast_s, fast_out = _timed_run(cmd, fast_env)
+                print(f"[fast cold: {fast_s:.1f}s]")
+                fast_identical = _strip_timing(fast_out) == _strip_timing(cold_out)
+            finally:
+                shutil.rmtree(fast_cache, ignore_errors=True)
+
         stats = _cache_stats(cache_dir)
         report = {
             "mode": "quick" if args.quick else "full",
@@ -242,6 +276,13 @@ def main(argv=None) -> int:
             report["chaos_spec"] = args.chaos
             report["chaos_seconds"] = round(chaos_s, 2)
             report["outputs_identical_chaos_vs_cold"] = chaos_identical
+        if args.engine_compare:
+            report["engine_compare"] = {
+                "reference_cold_seconds": round(cold_s, 2),
+                "fast_cold_seconds": round(fast_s, 2),
+                "fast_speedup_vs_reference": round(cold_s / fast_s, 3),
+                "outputs_identical": fast_identical,
+            }
         Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
         print(json.dumps(report, indent=2))
         if not identical:
@@ -253,6 +294,19 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
+        if args.engine_compare and not fast_identical:
+            print(
+                "FAIL: fast-engine output differs from the reference cold "
+                "run — the engines are bit-exact by contract",
+                file=sys.stderr,
+            )
+            return 1
+        if args.engine_compare and fast_s >= cold_s:
+            print(
+                f"[WARNING: fast engine not faster this run "
+                f"({fast_s:.1f}s vs {cold_s:.1f}s reference)]",
+                file=sys.stderr,
+            )
         if not args.quick and SEED_SERIAL_SECONDS / warm_s < 3.0:
             print("FAIL: warm sweep is not >= 3x the seed baseline", file=sys.stderr)
             return 1

@@ -27,8 +27,13 @@ Usage::
     nachos-repro verify --fuzz 200 --seed 0
                                        # differential alias fuzzing over
                                        # all five backends + sanitizer
+    nachos-repro verify --fuzz 200 --engines both
+                                       # + reference-vs-fast engine
+                                       # equivalence cross-check
     nachos-repro verify --repro fuzz-repros/fuzz-0-41-nachos.json
                                        # rerun a shrunken failure
+    nachos-repro fig11 --engine fast   # template-replaying fast engine
+                                       # (bit-exact, separate cache keys)
     nachos-repro profile fig11         # per-stage/per-region wall time,
                                        # cache telemetry, worker usage
 """
@@ -39,6 +44,7 @@ import argparse
 import dataclasses
 import hashlib
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -184,6 +190,14 @@ def main(argv=None) -> int:
         help="cache root (default ~/.cache/nachos-repro or $NACHOS_CACHE_DIR)",
     )
     parser.add_argument(
+        "--engine",
+        choices=["reference", "fast"],
+        default=None,
+        help="execution engine: 'reference' (per-event heapq loop) or "
+        "'fast' (invocation schedule templates; bit-exact — see "
+        "docs/simulation.md).  Default $NACHOS_ENGINE or 'reference'.",
+    )
+    parser.add_argument(
         "--metrics",
         default=None,
         metavar="PATH",
@@ -225,6 +239,14 @@ def main(argv=None) -> int:
         help="for 'verify': backends to fuzz (default: all five)",
     )
     parser.add_argument(
+        "--engines",
+        choices=["reference", "both"],
+        default="reference",
+        help="for 'verify': 'both' cross-checks each clean region between "
+        "the reference and fast engines (pickled SimResults must be "
+        "byte-identical)",
+    )
+    parser.add_argument(
         "--repro",
         default=None,
         metavar="PATH",
@@ -238,6 +260,10 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.engine is not None:
+        # Exported (not just resolved locally) so forked sweep workers
+        # inherit the same engine mode as the parent process.
+        os.environ["NACHOS_ENGINE"] = args.engine
     if args.jobs is not None:
         set_jobs(args.jobs)
     if args.no_cache or args.cache_dir:
@@ -505,7 +531,8 @@ def _verify_command(args) -> int:
     from repro.verify.fuzz import BACKENDS as FUZZ_BACKENDS
 
     systems = list(args.systems) if args.systems else sorted(FUZZ_BACKENDS)
-    print(f"fuzzing systems: {', '.join(systems)}")
+    print(f"fuzzing systems: {', '.join(systems)}"
+          + (" [engines: reference+fast]" if args.engines == "both" else ""))
     start = time.time()
     done = {"n": 0}
 
@@ -515,12 +542,12 @@ def _verify_command(args) -> int:
             print(f"  ... {k}/{n} regions")
 
     result = fuzz(
-        args.fuzz, seed=args.seed, systems=systems, progress=progress
+        args.fuzz, seed=args.seed, systems=systems, progress=progress,
+        engines=args.engines,
     )
     elapsed = time.time() - start
     print(
-        f"fuzzed {result.regions} region(s) x "
-        f"{result.runs // max(result.regions, 1)} system(s) "
+        f"fuzzed {result.regions} region(s) x {len(systems)} system(s) "
         f"({result.runs} differential runs) in {elapsed:.1f}s "
         f"[seed {args.seed}]"
     )

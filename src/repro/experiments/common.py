@@ -54,7 +54,7 @@ from repro.sim.backends.nachos_sw import NachosSWBackend
 from repro.sim.backends.serial import SerialMemBackend
 from repro.sim.backends.spec_lsq import SpecLSQBackend
 from repro.sim.config import EngineConfig
-from repro.sim.engine import DataflowEngine
+from repro.sim.factory import make_engine, resolve_engine_mode
 from repro.sim.oracle import golden_execute
 from repro.sim.result import SimResult
 from repro.workloads.generator import Workload
@@ -290,6 +290,11 @@ def run_system(
     if cfg is not None:
         pipeline_result = compile_workload(workload, cfg, cache)
 
+    # The *resolved* mode (config > $NACHOS_ENGINE > default) is part of
+    # the cache key: both modes are proven bit-exact, but a cross-mode
+    # cache hit would silently turn the differential equivalence suite
+    # into a self-comparison.
+    engine_mode = resolve_engine_mode(engine_config)
     sim_key = combine(
         "sim",
         wfp,
@@ -302,6 +307,7 @@ def run_system(
         config_fingerprint(cgra_config),
         config_fingerprint(lsq_config),
         config_fingerprint(engine_config),
+        f"engine={engine_mode}",
     )
     record = _sim_memo.get(sim_key)
     if record is None:
@@ -318,6 +324,7 @@ def run_system(
                 cgra_config,
                 lsq_config,
                 engine_config,
+                engine_mode,
                 warm,
                 cache,
             )
@@ -347,6 +354,7 @@ def _simulate(
     cgra_config: Optional[CGRAConfig],
     lsq_config: Optional[LSQConfig],
     engine_config: Optional[EngineConfig],
+    engine_mode: str,
     warm: bool,
     cache: ResultCache,
 ) -> Tuple[SimResult, bool, int]:
@@ -362,8 +370,9 @@ def _simulate(
     placement = _placement(wfp, graph, cgra_config)
     hierarchy = MemoryHierarchy(hierarchy_config)
     backend = _backend_for(system, lsq_config)
-    engine = DataflowEngine(
-        graph, placement, hierarchy, backend, config=engine_config
+    engine = make_engine(
+        graph, placement, hierarchy, backend, config=engine_config,
+        mode=engine_mode,
     )
 
     # Evaluate every memory op's address once per invocation; the warm

@@ -77,7 +77,7 @@ def traced_run(
     from repro.memory.hierarchy import MemoryHierarchy
     from repro.runtime.cache import get_cache
     from repro.runtime.fingerprint import envs_fingerprint
-    from repro.sim.engine import DataflowEngine
+    from repro.sim.factory import make_engine
     from repro.sim.oracle import golden_execute
     from repro.sim.timeline import TimelineRecorder
 
@@ -103,7 +103,9 @@ def traced_run(
     hierarchy = MemoryHierarchy()
     backend = _backend_for(system, None)
     recorder = TimelineRecorder() if record_timeline else None
-    engine = DataflowEngine(
+    # make_engine falls back (loudly, EngineModeFallback) to the
+    # reference engine when $NACHOS_ENGINE=fast meets an enabled tracer.
+    engine = make_engine(
         graph, placement, hierarchy, backend, recorder=recorder, tracer=tracer
     )
 

@@ -25,8 +25,10 @@ from repro.ir.graph import DFGraph
 from repro.ir.serialize import graph_to_dict
 
 #: Bump when the cache payload format or simulation semantics change in
-#: a way that invalidates stored results.
-CACHE_SCHEMA = 2
+#: a way that invalidates stored results.  Schema 3: simulation keys
+#: carry the resolved engine mode (reference vs fast), so cross-mode
+#: cache hits can never alias the differential equivalence checks.
+CACHE_SCHEMA = 3
 
 
 def _canonical_json(obj: Any) -> str:

@@ -137,6 +137,30 @@ class DataflowEngine:
                         placement.route_latency(src, uid),
                     )
                 )
+        # The common-case (no link contention) delivery plan folds the
+        # per-target branches of _finish into data: the NET_LINK count is
+        # pre-multiplied (hops * mult, zero when network charging is off)
+        # so the hot loop is one charge + one delivery per target.
+        charge_net = self.config.charge_network
+        self._contention = self.config.model_link_contention
+        self._plans: Dict[int, List[Tuple[Operation, int, int, int, int]]] = {
+            src: [
+                (user, n_addr, n_value, hops * mult if charge_net else 0, route)
+                for user, n_addr, n_value, mult, hops, route in targets
+            ]
+            for src, targets in self._targets.items()
+        }
+        # Per-op execution plan: (latency, ALU energy event, opcode mix
+        # id, input tuple) resolved once instead of per event.
+        self._exec_plan: Dict[int, Tuple[int, EnergyEvent, int, Tuple[int, ...]]] = {
+            op.op_id: (
+                op.latency,
+                EnergyEvent.ALU_FP if is_fp(op.opcode) else EnergyEvent.ALU_INT,
+                _OPCODE_ID[op.opcode],
+                tuple(op.inputs),
+            )
+            for op in self._ops
+        }
         # Per-op invocation-reset plan (avoids per-invocation property
         # calls): (op, pending_addr, pending_value, kick) where kick is
         # 1 = source, 2 = constant-address memory, 3 = zero-input compute.
@@ -272,7 +296,8 @@ class DataflowEngine:
         return mix(0x1F, op.op_id, inv)
 
     def _compute_value(self, op: Operation) -> int:
-        return mix(_OPCODE_ID[op.opcode], *(self.values[i] for i in op.inputs))
+        _, _, mix_id, inputs = self._exec_plan[op.op_id]
+        return mix(mix_id, *(self.values[i] for i in inputs))
 
     # ------------------------------------------------------------------
     # Completion paths
@@ -285,17 +310,16 @@ class DataflowEngine:
         self._finish(op, t)
 
     def _start_compute(self, op: Operation, t: int) -> None:
-        done = t + op.latency
+        latency, alu_event, mix_id, inputs = self._exec_plan[op.op_id]
+        done = t + latency
         self._run[op.op_id].start_time = t
         if self._trace is not None:
-            self._trace.emit(obs.OP_EXEC, t, dur=op.latency, op=op.op_id)
-        if is_fp(op.opcode):
-            self.energy.charge(EnergyEvent.ALU_FP)
-        else:
-            self.energy.charge(EnergyEvent.ALU_INT)
+            self._trace.emit(obs.OP_EXEC, t, dur=latency, op=op.op_id)
+        self.energy.charge(alu_event)
 
         def complete() -> None:
-            self.values[op.op_id] = self._compute_value(op)
+            values = self.values
+            values[op.op_id] = mix(mix_id, *(values[i] for i in inputs))
             self._finish(op, done)
 
         self.schedule(done, complete)
@@ -309,21 +333,29 @@ class DataflowEngine:
         if op.is_memory:
             self.backend.on_memory_complete(op, t)
 
-        charge_network = self.config.charge_network
-        contention = self.config.model_link_contention
-        for user, n_addr, n_value, mult, hops, route in self._targets[op.op_id]:
-            if charge_network and hops:
-                self.energy.charge(EnergyEvent.NET_LINK, hops * mult)
-            if contention and hops:
-                # One route walk (and link reservation) per operand
-                # position; the delivery lands at the first walk's
-                # arrival, matching per-position delivery order.
-                arrive = self._route_with_contention(op.op_id, user.op_id, t)
-                for _ in range(mult - 1):
-                    self._route_with_contention(op.op_id, user.op_id, t)
-            else:
-                arrive = t + route
-            self._deliver(user, n_addr, n_value, arrive)
+        if self._contention:
+            charge_network = self.config.charge_network
+            for user, n_addr, n_value, mult, hops, route in self._targets[op.op_id]:
+                if charge_network and hops:
+                    self.energy.charge(EnergyEvent.NET_LINK, hops * mult)
+                if hops:
+                    # One route walk (and link reservation) per operand
+                    # position; the delivery lands at the first walk's
+                    # arrival, matching per-position delivery order.
+                    arrive = self._route_with_contention(op.op_id, user.op_id, t)
+                    for _ in range(mult - 1):
+                        self._route_with_contention(op.op_id, user.op_id, t)
+                else:
+                    arrive = t + route
+                self._deliver(user, n_addr, n_value, arrive)
+            return
+
+        charge = self.energy.charge
+        deliver = self._deliver
+        for user, n_addr, n_value, net, route in self._plans[op.op_id]:
+            if net:
+                charge(EnergyEvent.NET_LINK, net)
+            deliver(user, n_addr, n_value, t + route)
 
     def _route_with_contention(self, src: int, dst: int, t: int) -> int:
         """Walk the XY route reserving one cycle per directed link."""

@@ -21,6 +21,7 @@ Everything is deterministic in the seed: region *k* of ``--seed S`` is
 
 from __future__ import annotations
 
+import pickle
 import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -38,6 +39,7 @@ from repro.sim import (
     SerialMemBackend,
     SpecLSQBackend,
     golden_execute,
+    make_engine,
 )
 from repro.verify.sanitizer import SanitizerReport, sanitize_trace
 
@@ -94,10 +96,14 @@ class FuzzFailure:
     oracle_ok: bool
     sanitizer: SanitizerReport
     shrunk_from: Optional[int] = None  # op count before shrinking
+    engine_divergence: bool = False    # reference vs fast SimResult differ
 
     def describe(self) -> str:
         parts = [f"{self.system} failed on {self.spec.name} "
                  f"({len(self.spec.ops)} mem ops, {len(self.spec.envs)} inv)"]
+        if self.engine_divergence:
+            parts.append("  engine divergence: reference and fast modes "
+                         "produced different SimResults")
         if not self.oracle_ok:
             parts.append("  golden-model mismatch (wrong load value or "
                          "final memory image)")
@@ -250,12 +256,59 @@ def run_spec(
     return oracle_ok, report
 
 
-def check_spec(spec: RegionSpec, systems: Sequence[str]) -> List[FuzzFailure]:
+def run_spec_result(spec: RegionSpec, system: str, mode: str) -> bytes:
+    """Run one region untraced under *mode*; return the pickled SimResult.
+
+    The engine-equivalence contract is byte-identity of the pickled
+    :class:`~repro.sim.result.SimResult`, so this returns the bytes
+    directly — comparing them compares every field (cycles, load
+    values, memory image, energy counts, cache stats, ...) at once.
+    """
+    graph = build_graph(spec)
+    if system in NEEDS_MDES:
+        compile_region(graph)
+    else:
+        graph.clear_mdes()
+    engine = make_engine(
+        graph,
+        place_region(graph),
+        MemoryHierarchy(),
+        BACKENDS[system](),
+        mode=mode,
+    )
+    return pickle.dumps(engine.run(spec.env_dicts()))
+
+
+def _modes_diverge(spec: RegionSpec, system: str) -> bool:
+    """Shrink predicate: do reference and fast disagree on *spec*?"""
+    try:
+        ref = run_spec_result(spec, system, "reference")
+        fast = run_spec_result(spec, system, "fast")
+    except Exception:
+        return False  # a repro must diverge, not crash elsewhere
+    return ref != fast
+
+
+def check_spec(
+    spec: RegionSpec,
+    systems: Sequence[str],
+    engines: str = "reference",
+) -> List[FuzzFailure]:
     failures = []
     for system in systems:
         oracle_ok, report = run_spec(spec, system)
         if not oracle_ok or not report.ok:
             failures.append(FuzzFailure(spec, system, oracle_ok, report))
+        elif engines == "both" and _modes_diverge(spec, system):
+            failures.append(
+                FuzzFailure(
+                    spec,
+                    system,
+                    oracle_ok,
+                    report,
+                    engine_divergence=True,
+                )
+            )
     return failures
 
 
@@ -342,23 +395,46 @@ def fuzz(
     progress: Optional[Callable[[int, int], None]] = None,
     shrink_failures: bool = True,
     max_failures: int = 5,
+    engines: str = "reference",
 ) -> FuzzResult:
-    """Run *count* regions through the differential harness."""
+    """Run *count* regions through the differential harness.
+
+    ``engines="both"`` additionally cross-checks every clean
+    (spec, system) pair between the reference and fast execution
+    engines: the pickled SimResults must be byte-identical.  A
+    divergence is reported (and shrunk) like any other failure, with
+    :attr:`FuzzFailure.engine_divergence` set.
+    """
     systems = list(systems) if systems else sorted(BACKENDS)
     for s in systems:
         if s not in BACKENDS:
             raise ValueError(
                 f"unknown system {s!r}; expected one of {sorted(BACKENDS)}"
             )
+    if engines not in ("reference", "both"):
+        raise ValueError(
+            f"unknown engines selection {engines!r}; "
+            "expected 'reference' or 'both'"
+        )
     result = FuzzResult()
     for k in range(count):
         if progress is not None:
             progress(k, count)
         spec = generate_spec(seed, k)
         result.regions += 1
-        result.runs += len(systems)
-        for failure in check_spec(spec, systems):
-            if shrink_failures:
+        result.runs += len(systems) * (2 if engines == "both" else 1)
+        for failure in check_spec(spec, systems, engines=engines):
+            if shrink_failures and failure.engine_divergence:
+                n_before = len(failure.spec.ops)
+                small = shrink(
+                    failure.spec, failure.system, fails=_modes_diverge
+                )
+                failure = FuzzFailure(
+                    small, failure.system, failure.oracle_ok,
+                    failure.sanitizer, shrunk_from=n_before,
+                    engine_divergence=True,
+                )
+            elif shrink_failures:
                 n_before = len(failure.spec.ops)
                 small = shrink(failure.spec, failure.system)
                 oracle_ok, report = run_spec(small, failure.system)

@@ -31,6 +31,7 @@ def failure_to_dict(failure: FuzzFailure) -> dict:
         "format": FORMAT,
         "system": failure.system,
         "oracle_ok": failure.oracle_ok,
+        "engine_divergence": failure.engine_divergence,
         "violations": [str(v) for v in failure.sanitizer.violations],
         "spec": {
             "name": failure.spec.name,
@@ -70,6 +71,16 @@ def load_repro(path: Path) -> Tuple[RegionSpec, str]:
 
 
 def rerun(path: Path) -> Tuple[bool, "SanitizerReport"]:
-    """Re-execute a saved repro; returns (oracle_ok, sanitizer_report)."""
+    """Re-execute a saved repro; returns (oracle_ok, sanitizer_report).
+
+    A repro saved from an engine-divergence failure re-checks
+    reference-vs-fast equivalence as well — it "still fails" until the
+    modes agree again, folded into the returned ok flag.
+    """
     spec, system = load_repro(path)
-    return run_spec(spec, system)
+    oracle_ok, report = run_spec(spec, system)
+    if json.loads(Path(path).read_text()).get("engine_divergence"):
+        from repro.verify.fuzz import _modes_diverge
+
+        oracle_ok = oracle_ok and not _modes_diverge(spec, system)
+    return oracle_ok, report

@@ -17,6 +17,21 @@ from repro.memory import MemoryHierarchy
 from repro.sim import DataflowEngine, NachosBackend, NachosSWBackend, OptLSQBackend
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ timeline corpus files from the "
+        "current reference-engine output instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(autouse=True, scope="session")
 def _isolated_result_cache(tmp_path_factory):
     """Keep test runs out of the user's on-disk result cache."""

@@ -1,0 +1,216 @@
+"""Differential equivalence suite: reference engine vs fast engine.
+
+The fast engine (:class:`repro.sim.fast.FastEngine`) replays invocation
+schedule templates instead of re-simulating the static compute subgraph
+event by event.  Its contract is *byte-identity*: for any (region,
+backend, invocation stream), ``pickle.dumps(SimResult)`` must equal the
+reference engine's — same cycles, load values, memory image, energy
+counts, cache stats, backend stats, everything.  This suite enforces
+that contract over three corpora:
+
+* the full memory-ordering litmus suite (every pattern x every backend,
+  multi-invocation so templates actually get replayed),
+* a fixed-seed slice of the differential alias fuzzer's region
+  generator (dense MAY graphs, late addresses, slow stores, ...),
+* one real compiled region per SPEC benchmark, driven through
+  ``run_system`` so the engine-mode cache-key plumbing is on the hook
+  too (a cross-mode cache hit would make this test vacuous — and
+  schema'd keys make it fail instead).
+
+Plus the seams: mode resolution precedence, loud fallback, and the
+fuzzer's ``engines="both"`` cross-check wiring.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+
+import pytest
+
+from tests.test_litmus import BACKENDS, LITMUS, NEEDS_MDES
+
+from repro.cgra.placement import place_region
+from repro.compiler import compile_region
+from repro.memory import MemoryHierarchy
+from repro.obs.tracer import Tracer
+from repro.sim import (
+    DataflowEngine,
+    EngineConfig,
+    EngineModeFallback,
+    FastEngine,
+    make_engine,
+    resolve_engine_mode,
+)
+from repro.verify.fuzz import fuzz, generate_spec, run_spec_result
+from repro.workloads.suite import benchmark_names
+
+FUZZ_SEED = 0
+FUZZ_SPECS = 200
+FUZZ_CHUNK = 25
+
+
+def _result_bytes(build_fn, backend_name, envs, mode):
+    """Pickled SimResult for one litmus pattern under one engine mode."""
+    graph = build_fn()
+    if backend_name in NEEDS_MDES:
+        compile_region(graph)
+    else:
+        graph.clear_mdes()
+    engine = make_engine(
+        graph,
+        place_region(graph),
+        MemoryHierarchy(),
+        BACKENDS[backend_name](),
+        mode=mode,
+    )
+    return pickle.dumps(engine.run(envs))
+
+
+# ---------------------------------------------------------------------------
+# Corpus 1: litmus patterns
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+@pytest.mark.parametrize("litmus", sorted(LITMUS))
+def test_litmus_equivalence(backend, litmus):
+    build_fn, envs = LITMUS[litmus]
+    # x3 invocations: the template is captured on the first and
+    # *replayed* on the rest, so single-invocation runs would never
+    # exercise the replay path.
+    envs = envs * 3
+    ref = _result_bytes(build_fn, backend, envs, "reference")
+    fast = _result_bytes(build_fn, backend, envs, "fast")
+    assert ref == fast, f"{litmus}/{backend}: SimResults diverge"
+
+
+# ---------------------------------------------------------------------------
+# Corpus 2: fuzzer regions (fixed seed => fixed corpus)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("chunk", range(FUZZ_SPECS // FUZZ_CHUNK))
+def test_fuzz_corpus_equivalence(chunk):
+    for index in range(chunk * FUZZ_CHUNK, (chunk + 1) * FUZZ_CHUNK):
+        spec = generate_spec(FUZZ_SEED, index)
+        for system in sorted(BACKENDS):
+            ref = run_spec_result(spec, system, "reference")
+            fast = run_spec_result(spec, system, "fast")
+            assert ref == fast, f"{spec.name}/{system}: SimResults diverge"
+
+
+def test_fuzz_engines_both_wiring():
+    """``fuzz(engines='both')`` doubles the run count and stays clean."""
+    result = fuzz(5, seed=3, engines="both", shrink_failures=False)
+    assert result.ok, [f.describe() for f in result.failures]
+    assert result.runs == 5 * len(BACKENDS) * 2
+
+
+def test_fuzz_engines_rejects_unknown():
+    with pytest.raises(ValueError, match="engines"):
+        fuzz(1, engines="fast")
+
+
+# ---------------------------------------------------------------------------
+# Corpus 3: real compiled regions through run_system (cache-key plumbing)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("bench", benchmark_names())
+def test_real_region_equivalence(bench):
+    from repro.experiments.common import run_system
+    from repro.workloads.generator import build_workload
+    from repro.workloads.suite import get_spec
+
+    workload = build_workload(get_spec(bench), path_index=0)
+    for system in sorted(BACKENDS):
+        ref = run_system(
+            workload, system, invocations=4,
+            engine_config=EngineConfig(mode="reference"),
+        )
+        fast = run_system(
+            workload, system, invocations=4,
+            engine_config=EngineConfig(mode="fast"),
+        )
+        assert pickle.dumps(ref.sim) == pickle.dumps(fast.sim), (
+            f"{bench}/{system}: SimResults diverge"
+        )
+        assert fast.correct
+
+
+# ---------------------------------------------------------------------------
+# Mode resolution and fallback seams
+# ---------------------------------------------------------------------------
+def _micro_engine_parts():
+    build_fn, envs = LITMUS["forwarding_chain"]
+    graph = build_fn()
+    graph.clear_mdes()
+    return graph, place_region(graph), MemoryHierarchy(), BACKENDS["opt-lsq"]()
+
+
+def test_mode_precedence_config_beats_env(monkeypatch):
+    monkeypatch.setenv("NACHOS_ENGINE", "fast")
+    assert resolve_engine_mode(EngineConfig(mode="reference")) == "reference"
+    assert resolve_engine_mode(EngineConfig()) == "fast"
+    monkeypatch.delenv("NACHOS_ENGINE")
+    assert resolve_engine_mode(EngineConfig()) == "reference"
+    assert resolve_engine_mode(None) == "reference"
+
+
+def test_mode_rejects_unknown(monkeypatch):
+    with pytest.raises(ValueError, match="unknown engine mode"):
+        resolve_engine_mode(EngineConfig(mode="turbo"))
+    monkeypatch.setenv("NACHOS_ENGINE", "warp")
+    with pytest.raises(ValueError, match="unknown engine mode"):
+        resolve_engine_mode(None)
+
+
+def test_make_engine_builds_requested_class():
+    graph, placement, hierarchy, backend = _micro_engine_parts()
+    eng = make_engine(graph, placement, hierarchy, backend, mode="fast")
+    assert type(eng) is FastEngine
+    graph, placement, hierarchy, backend = _micro_engine_parts()
+    eng = make_engine(graph, placement, hierarchy, backend, mode="reference")
+    assert type(eng) is DataflowEngine
+
+
+def test_fast_with_tracer_falls_back_loudly():
+    graph, placement, hierarchy, backend = _micro_engine_parts()
+    with pytest.warns(EngineModeFallback, match="tracing"):
+        eng = make_engine(
+            graph, placement, hierarchy, backend, tracer=Tracer(), mode="fast"
+        )
+    assert type(eng) is DataflowEngine
+
+
+def test_fast_with_link_contention_falls_back_loudly():
+    graph, placement, hierarchy, backend = _micro_engine_parts()
+    cfg = EngineConfig(mode="fast", model_link_contention=True)
+    with pytest.warns(EngineModeFallback, match="contention"):
+        eng = make_engine(graph, placement, hierarchy, backend, config=cfg)
+    assert type(eng) is DataflowEngine
+
+
+def test_fast_engine_direct_construction_refuses_tracer():
+    graph, placement, hierarchy, backend = _micro_engine_parts()
+    with pytest.raises(ValueError):
+        FastEngine(graph, placement, hierarchy, backend, tracer=Tracer())
+
+
+def test_disabled_tracer_does_not_trigger_fallback():
+    graph, placement, hierarchy, backend = _micro_engine_parts()
+    tracer = Tracer()
+    tracer.enabled = False
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", EngineModeFallback)
+        eng = make_engine(
+            graph, placement, hierarchy, backend, tracer=tracer, mode="fast"
+        )
+    assert type(eng) is FastEngine
+
+
+def test_env_mode_reaches_run_system(monkeypatch):
+    """$NACHOS_ENGINE alone must steer run_system (and its cache key)."""
+    from repro.experiments.common import run_system
+    from repro.workloads.micro import build_micro
+
+    workload = build_micro("gather")
+    ref = run_system(workload, "nachos", invocations=3)
+    monkeypatch.setenv("NACHOS_ENGINE", "fast")
+    fast = run_system(workload, "nachos", invocations=3)
+    assert pickle.dumps(ref.sim) == pickle.dumps(fast.sim)
