@@ -30,11 +30,17 @@ past the timeout, and return corrupt results, yet the supervised
 executor must recover and produce output byte-identical to the
 fault-free cold run.
 
-``--engine-compare`` adds a cold run on a fresh cache with
-``NACHOS_ENGINE=fast`` (the template-replaying engine) and pins the
-main cold/warm runs to the reference engine.  The fast run's output
-must be byte-identical — the engines are bit-exact by contract — and
-the report gains an ``engine_compare`` section with both cold times.
+``--engine-compare`` adds one cold run per fast mode on a fresh cache
+(``NACHOS_ENGINE=fast`` — template replay — and ``NACHOS_ENGINE=
+fast-vector`` — batch invocation replay) and pins the main cold/warm
+runs to the reference engine.  Every mode's output must be
+byte-identical — the engines are bit-exact by contract — and the
+report gains an ``engine_compare`` section with per-mode wall and CPU
+times plus ``fast_speedup_vs_reference`` /
+``fast_vector_speedup_vs_reference``.  ``--min-vector-speedup FLOOR``
+turns the latter into a CI gate: the run fails if the fast-vector
+engine's cold-sweep speedup over the reference engine drops below the
+committed floor.
 """
 
 from __future__ import annotations
@@ -78,16 +84,28 @@ def _strip_timing(output: str) -> str:
 
 
 def _timed_run(cmd, env) -> tuple:
+    """Run ``cmd``, returning (wall seconds, child CPU seconds, stdout).
+
+    CPU time is the reaped children's user+system delta from
+    ``os.times()`` — with ``--jobs N`` it exceeds wall time, which is
+    exactly why both are reported: wall is what a user waits for, CPU
+    is what an engine actually costs.
+    """
+    t0 = os.times()
     start = time.perf_counter()
     proc = subprocess.run(
         cmd, env=env, cwd=REPO_ROOT, capture_output=True, text=True
     )
     elapsed = time.perf_counter() - start
+    t1 = os.times()
+    cpu = (t1.children_user - t0.children_user) + (
+        t1.children_system - t0.children_system
+    )
     if proc.returncode != 0:
         sys.stderr.write(proc.stdout)
         sys.stderr.write(proc.stderr)
         raise SystemExit(f"child failed ({proc.returncode}): {' '.join(cmd)}")
-    return elapsed, proc.stdout
+    return elapsed, cpu, proc.stdout
 
 
 def _cache_stats(cache_dir: Path) -> dict:
@@ -186,8 +204,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--engine-compare",
         action="store_true",
-        help="also run cold under NACHOS_ENGINE=fast on a fresh cache; "
-        "output must match the reference cold run byte-for-byte",
+        help="also run cold under NACHOS_ENGINE=fast and fast-vector on "
+        "fresh caches; outputs must match the reference cold run "
+        "byte-for-byte",
+    )
+    parser.add_argument(
+        "--min-vector-speedup",
+        type=float,
+        default=None,
+        metavar="FLOOR",
+        help="with --engine-compare: fail if the fast-vector cold-sweep "
+        "speedup over the reference engine drops below FLOOR",
     )
     parser.add_argument("--child-quick", action="store_true", help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
@@ -210,11 +237,11 @@ def main(argv=None) -> int:
             env["NACHOS_ENGINE"] = "reference"
 
         print(f"[cold run: jobs={args.jobs}, cache={cache_dir}]")
-        cold_s, cold_out = _timed_run(cmd, env)
-        print(f"[cold: {cold_s:.1f}s]")
+        cold_s, cold_cpu, cold_out = _timed_run(cmd, env)
+        print(f"[cold: {cold_s:.1f}s wall, {cold_cpu:.1f}s cpu]")
 
         print("[warm run: same cache]")
-        warm_s, warm_out = _timed_run(cmd, env)
+        warm_s, _warm_cpu, warm_out = _timed_run(cmd, env)
         print(f"[warm: {warm_s:.1f}s]")
 
         identical = _strip_timing(cold_out) == _strip_timing(warm_out)
@@ -232,28 +259,38 @@ def main(argv=None) -> int:
                 chaos_env.setdefault("NACHOS_MAX_RETRIES", "3")
                 chaos_env.setdefault("NACHOS_BACKOFF_BASE", "0.05")
                 print(f"[chaos run: NACHOS_CHAOS={args.chaos}]")
-                chaos_s, chaos_out = _timed_run(cmd, chaos_env)
+                chaos_s, _chaos_cpu, chaos_out = _timed_run(cmd, chaos_env)
                 print(f"[chaos: {chaos_s:.1f}s]")
                 chaos_identical = _strip_timing(chaos_out) == _strip_timing(cold_out)
             finally:
                 shutil.rmtree(chaos_cache, ignore_errors=True)
 
-        fast_s = None
-        fast_identical = None
+        engine_runs = {}
         if args.engine_compare:
-            # Fresh cache: fast-mode sim keys differ by design, but a
-            # shared cache would still serve compile/placement entries,
-            # making the two cold times incomparable.
-            fast_cache = Path(tempfile.mkdtemp(prefix="nachos-bench-fast-"))
-            try:
-                fast_env = _child_env(fast_cache, args.jobs)
-                fast_env["NACHOS_ENGINE"] = "fast"
-                print("[engine-compare run: NACHOS_ENGINE=fast, fresh cache]")
-                fast_s, fast_out = _timed_run(cmd, fast_env)
-                print(f"[fast cold: {fast_s:.1f}s]")
-                fast_identical = _strip_timing(fast_out) == _strip_timing(cold_out)
-            finally:
-                shutil.rmtree(fast_cache, ignore_errors=True)
+            for mode in ("fast", "fast-vector"):
+                # Fresh cache per mode: sim keys differ by design, but a
+                # shared cache would still serve compile/placement
+                # entries, making the cold times incomparable.
+                mode_cache = Path(tempfile.mkdtemp(prefix="nachos-bench-eng-"))
+                try:
+                    mode_env = _child_env(mode_cache, args.jobs)
+                    mode_env["NACHOS_ENGINE"] = mode
+                    print(
+                        f"[engine-compare run: NACHOS_ENGINE={mode}, "
+                        f"fresh cache]"
+                    )
+                    mode_s, mode_cpu, mode_out = _timed_run(cmd, mode_env)
+                    print(
+                        f"[{mode} cold: {mode_s:.1f}s wall, "
+                        f"{mode_cpu:.1f}s cpu]"
+                    )
+                    engine_runs[mode] = (
+                        mode_s,
+                        mode_cpu,
+                        _strip_timing(mode_out) == _strip_timing(cold_out),
+                    )
+                finally:
+                    shutil.rmtree(mode_cache, ignore_errors=True)
 
         stats = _cache_stats(cache_dir)
         report = {
@@ -277,11 +314,18 @@ def main(argv=None) -> int:
             report["chaos_seconds"] = round(chaos_s, 2)
             report["outputs_identical_chaos_vs_cold"] = chaos_identical
         if args.engine_compare:
+            fast_s, fast_cpu, fast_ok = engine_runs["fast"]
+            vec_s, vec_cpu, vec_ok = engine_runs["fast-vector"]
             report["engine_compare"] = {
                 "reference_cold_seconds": round(cold_s, 2),
+                "reference_cpu_seconds": round(cold_cpu, 2),
                 "fast_cold_seconds": round(fast_s, 2),
+                "fast_cpu_seconds": round(fast_cpu, 2),
                 "fast_speedup_vs_reference": round(cold_s / fast_s, 3),
-                "outputs_identical": fast_identical,
+                "fast_vector_cold_seconds": round(vec_s, 2),
+                "fast_vector_cpu_seconds": round(vec_cpu, 2),
+                "fast_vector_speedup_vs_reference": round(cold_s / vec_s, 3),
+                "outputs_identical": fast_ok and vec_ok,
             }
         Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
         print(json.dumps(report, indent=2))
@@ -294,19 +338,37 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
-        if args.engine_compare and not fast_identical:
+        for mode, (mode_s, _mode_cpu, mode_ok) in engine_runs.items():
+            if not mode_ok:
+                print(
+                    f"FAIL: {mode}-engine output differs from the "
+                    f"reference cold run — the engines are bit-exact "
+                    f"by contract",
+                    file=sys.stderr,
+                )
+                return 1
+            if mode_s >= cold_s:
+                print(
+                    f"[WARNING: {mode} engine not faster this run "
+                    f"({mode_s:.1f}s vs {cold_s:.1f}s reference)]",
+                    file=sys.stderr,
+                )
+        if args.engine_compare and args.min_vector_speedup is not None:
+            speedup = report["engine_compare"][
+                "fast_vector_speedup_vs_reference"
+            ]
+            verdict = "ok" if speedup >= args.min_vector_speedup else "FAIL"
             print(
-                "FAIL: fast-engine output differs from the reference cold "
-                "run — the engines are bit-exact by contract",
-                file=sys.stderr,
+                f"[vector-speedup gate: {speedup:.2f}x vs floor "
+                f"{args.min_vector_speedup:.2f}x -> {verdict}]"
             )
-            return 1
-        if args.engine_compare and fast_s >= cold_s:
-            print(
-                f"[WARNING: fast engine not faster this run "
-                f"({fast_s:.1f}s vs {cold_s:.1f}s reference)]",
-                file=sys.stderr,
-            )
+            if verdict == "FAIL":
+                print(
+                    "FAIL: fast-vector cold-sweep speedup regressed "
+                    "below the committed floor",
+                    file=sys.stderr,
+                )
+                return 1
         if not args.quick and SEED_SERIAL_SECONDS / warm_s < 3.0:
             print("FAIL: warm sweep is not >= 3x the seed baseline", file=sys.stderr)
             return 1

@@ -27,12 +27,13 @@ Usage::
     nachos-repro verify --fuzz 200 --seed 0
                                        # differential alias fuzzing over
                                        # all five backends + sanitizer
-    nachos-repro verify --fuzz 200 --engines both
-                                       # + reference-vs-fast engine
-                                       # equivalence cross-check
+    nachos-repro verify --fuzz 200 --engines all
+                                       # + reference/fast/fast-vector
+                                       # engine equivalence cross-check
     nachos-repro verify --repro fuzz-repros/fuzz-0-41-nachos.json
                                        # rerun a shrunken failure
-    nachos-repro fig11 --engine fast   # template-replaying fast engine
+    nachos-repro fig11 --engine fast-vector
+                                       # batch-replaying vector engine
                                        # (bit-exact, separate cache keys)
     nachos-repro profile fig11         # per-stage/per-region wall time,
                                        # cache telemetry, worker usage
@@ -191,11 +192,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=["reference", "fast"],
+        choices=["reference", "fast", "fast-vector"],
         default=None,
-        help="execution engine: 'reference' (per-event heapq loop) or "
-        "'fast' (invocation schedule templates; bit-exact — see "
-        "docs/simulation.md).  Default $NACHOS_ENGINE or 'reference'.",
+        help="execution engine: 'reference' (per-event heapq loop), "
+        "'fast' (invocation schedule templates), or 'fast-vector' "
+        "(templates + NumPy batch value pass + guarded invocation "
+        "replay); both fast modes are bit-exact — see "
+        "docs/simulation.md.  Default $NACHOS_ENGINE or 'reference'.",
     )
     parser.add_argument(
         "--metrics",
@@ -240,11 +243,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--engines",
-        choices=["reference", "both"],
+        choices=["reference", "both", "all"],
         default="reference",
         help="for 'verify': 'both' cross-checks each clean region between "
-        "the reference and fast engines (pickled SimResults must be "
-        "byte-identical)",
+        "the reference and fast engines, 'all' between reference, fast "
+        "and fast-vector (pickled SimResults must be byte-identical)",
     )
     parser.add_argument(
         "--repro",
@@ -531,8 +534,11 @@ def _verify_command(args) -> int:
     from repro.verify.fuzz import BACKENDS as FUZZ_BACKENDS
 
     systems = list(args.systems) if args.systems else sorted(FUZZ_BACKENDS)
-    print(f"fuzzing systems: {', '.join(systems)}"
-          + (" [engines: reference+fast]" if args.engines == "both" else ""))
+    engines_note = {
+        "both": " [engines: reference+fast]",
+        "all": " [engines: reference+fast+fast-vector]",
+    }.get(args.engines, "")
+    print(f"fuzzing systems: {', '.join(systems)}" + engines_note)
     start = time.time()
     done = {"n": 0}
 
@@ -621,6 +627,22 @@ def _profile_command(rest, args) -> int:
         for pid, busy in sorted(workers.items()):
             print(f"  pid {pid:<8} {busy:8.2f}s")
         print(f"  utilization: {100.0 * profile.utilization():.0f}%")
+
+    vectors = profile.vector_rollup()
+    if vectors:
+        print("\nfast-vector engine (per region, batch replay vs "
+              "per-event fallback):")
+        print(f"  {'region':<14} {'invocs':>7} {'replayed':>9} "
+              f"{'ops vec':>9} {'ops dyn':>9}  fallbacks")
+        for region, v in vectors.items():
+            reasons = ", ".join(
+                f"{reason}={n}"
+                for reason, n in sorted(v["fallback_reasons"].items())
+            ) or "-"
+            print(
+                f"  {region:<14} {v['invocations']:>7} {v['replayed']:>9} "
+                f"{v['ops_vectorized']:>9} {v['ops_dynamic']:>9}  {reasons}"
+            )
 
     total = cache.hits + cache.misses
     if total:

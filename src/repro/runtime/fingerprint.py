@@ -28,7 +28,9 @@ from repro.ir.serialize import graph_to_dict
 #: a way that invalidates stored results.  Schema 3: simulation keys
 #: carry the resolved engine mode (reference vs fast), so cross-mode
 #: cache hits can never alias the differential equivalence checks.
-CACHE_SCHEMA = 3
+#: Schema 4: the ``fast-vector`` mode joined the mode set (its results
+#: must never alias either older mode's entries, and vice versa).
+CACHE_SCHEMA = 4
 
 
 def _canonical_json(obj: Any) -> str:

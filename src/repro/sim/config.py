@@ -12,8 +12,10 @@ class EngineConfig:
 
     #: Execution-path selector: ``"reference"`` (the per-event heapq
     #: loop), ``"fast"`` (invocation schedule templates + calendar
-    #: queue, bit-exact by the differential equivalence suite), or
-    #: ``None`` = decide from ``$NACHOS_ENGINE`` (default reference).
+    #: queue), ``"fast-vector"`` (templates plus the NumPy batch value
+    #: pass and guarded invocation replay) — the fast modes are
+    #: bit-exact by the differential equivalence suite — or ``None`` =
+    #: decide from ``$NACHOS_ENGINE`` (default reference).
     #: See :func:`repro.sim.factory.make_engine`.
     mode: Optional[str] = None
     #: Cycles to hand a store's value straight to a forwarded load.

@@ -5,7 +5,9 @@ One switch, three spellings, one precedence order::
     EngineConfig(mode=...)   >   $NACHOS_ENGINE   >   "reference"
 
 ``reference`` is the per-event heapq engine (:class:`DataflowEngine`);
-``fast`` is the template-replaying engine (:class:`FastEngine`), proven
+``fast`` is the template-replaying engine (:class:`FastEngine`);
+``fast-vector`` adds the batch value pass and guarded invocation replay
+(:class:`~repro.sim.vector.VectorEngine`).  Both fast modes are proven
 bit-exact by ``tests/test_engine_equivalence.py``.  Every simulation
 entry point (``run_system``, ``traced_run``, the fuzzer's cross-check)
 builds engines through :func:`make_engine`, and the sweep cache key
@@ -13,14 +15,19 @@ includes the *resolved* mode — so a fast-mode result can never be
 served where a reference-mode result was requested (which would make
 the differential suite vacuous) and vice versa.
 
-Fast mode refuses two combinations and falls back loudly (a
-:class:`EngineModeFallback` warning, so ``-W error`` turns it fatal):
+Both fast modes refuse two combinations and fall back to the reference
+engine loudly (a :class:`EngineModeFallback` warning, so ``-W error``
+turns it fatal):
 
 * an **enabled tracer** — the one-event-per-counter trace contract is
   defined against the reference event loop;
 * ``model_link_contention=True`` — mesh-link reservations persist
   across invocations, so static timing is not invocation-invariant and
   the schedule template would be wrong.
+
+``fast-vector`` additionally needs NumPy; without it the factory falls
+back to plain ``fast`` (same warning category) rather than dying — the
+scalar template path needs no third-party code.
 """
 
 from __future__ import annotations
@@ -33,7 +40,7 @@ from repro.sim.config import EngineConfig
 from repro.sim.engine import DataflowEngine
 from repro.sim.fast import FastEngine
 
-ENGINE_MODES = ("reference", "fast")
+ENGINE_MODES = ("reference", "fast", "fast-vector")
 
 
 class EngineModeFallback(UserWarning):
@@ -77,7 +84,7 @@ def make_engine(
         raise ValueError(
             f"unknown engine mode {resolved!r}; expected one of {ENGINE_MODES}"
         )
-    if resolved == "fast":
+    if resolved in ("fast", "fast-vector"):
         reason = None
         if tracer is not None and tracer.enabled:
             reason = (
@@ -90,7 +97,20 @@ def make_engine(
                 "across invocations, so schedule templates would be wrong)"
             )
         if reason is None:
-            return FastEngine(
+            cls = FastEngine
+            if resolved == "fast-vector":
+                from repro.sim.vector import HAVE_NUMPY, VectorEngine
+
+                if HAVE_NUMPY:
+                    cls = VectorEngine
+                else:
+                    warnings.warn(
+                        "engine mode 'fast-vector' needs NumPy, which is "
+                        "unavailable; falling back to the fast engine",
+                        EngineModeFallback,
+                        stacklevel=2,
+                    )
+            return cls(
                 graph,
                 placement,
                 hierarchy,
@@ -101,7 +121,7 @@ def make_engine(
                 tracer=tracer,
             )
         warnings.warn(
-            f"engine mode 'fast' ignored: {reason}; "
+            f"engine mode {resolved!r} ignored: {reason}; "
             "falling back to the reference engine",
             EngineModeFallback,
             stacklevel=2,

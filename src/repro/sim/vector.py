@@ -1,0 +1,675 @@
+"""The fast-vector execution path: batch value lowering + guarded replay.
+
+:class:`VectorEngine` extends :class:`~repro.sim.fast.FastEngine` with
+two batch mechanisms, both bit-exact with the reference engine:
+
+* **Template lowering** (:class:`_VectorProgram`).  A region's schedule
+  template is compiled once per (graph, placement, engine config) into
+  flat NumPy arrays: the value program as opcode/operand-index arrays, a
+  per-static-op arrival table (start / complete offsets relative to
+  ``t0``), per-dynamic-op static-input arrival offsets (the cycle, again
+  ``t0``-relative, at which a memory op's last static address or value
+  operand lands at the backend), and a bulk per-invocation energy
+  vector.  The lowered program is cached on the graph object, so the
+  five systems sweeping one workload share a single lowering.
+
+* **Batch value pass.**  ``run()`` evaluates the value program for *all*
+  invocations of the region in one vectorized NumPy pass
+  (:func:`repro.sim.values.mix_array` is bit-exact with
+  :func:`~repro.sim.values.mix`), materialising each invocation's live
+  static values as one matrix column.  The per-invocation dicts land in
+  the template's shared ``value_cache``, so every engine over the same
+  graph — whatever its backend — reuses them.
+
+* **Guarded speculative replay.**  Dynamic behaviour (the
+  disambiguation backend's decisions plus the memory hierarchy) is the
+  only thing that varies across invocations.  Each backend publishes a
+  :meth:`~repro.sim.engine.DisambiguationBackend.replay_signature` — a
+  conservative key over every address-dependent decision it makes.  The
+  first invocation with a given signature runs on the per-event path
+  with capture instrumentation: the engine records every hierarchy
+  access (relative issue cycle and its observed start/complete), every
+  memory-op completion in drain order, the invocation's energy and
+  backend-stat deltas, and the backend's persistent-state carryover.
+  Later invocations with the same signature *replay*: the hierarchy is
+  live-driven with the current addresses at the captured relative
+  cycles — the hierarchy itself is ground truth, never emulated — and
+  each access's (start, complete) is verified against the capture.  Any
+  mismatch restores the hierarchy from a targeted snapshot (only the
+  cache sets the replay touched, plus MSHR/port state) and falls back
+  to the full per-event path for that invocation, re-capturing.
+
+Soundness rests on two facts.  Values and timing are independent by
+construction (tokens are mixed, never branched on), so the batch value
+pass can never change a schedule.  And a backend's schedule is a pure
+function of (graph, placement, config, signature, hierarchy access
+outcomes, persistent state): equal signatures with verified-equal
+access outcomes therefore reproduce the captured schedule exactly —
+including issue order, forwards, waits, energy charges and stat
+increments — which is what lets the replay path skip event simulation
+entirely and bulk-apply the captured deltas.
+
+Fallback rules (per invocation, cheapest test first):
+
+========================  ============================================
+reason                    trigger
+========================  ============================================
+``recorder``              a timeline recorder is attached (it walks
+                          per-op run state the replay never builds)
+``replay-disabled``       divergences outran replays
+                          (``DIVERGENCE_MARGIN``), captures outran
+                          replays (``CAPTURE_MARGIN``), or this
+                          signature struck out (``SIGNATURE_STRIKES``)
+``backend-opaque``        ``replay_signature()`` returned ``None``
+``first-capture``         no capture exists for this signature yet
+``divergence``            a captured access verified wrong; state was
+                          restored and this invocation re-captures
+                          (unless the signature just struck out)
+========================  ============================================
+
+An enabled tracer or ``model_link_contention`` is refused at
+construction exactly like :class:`FastEngine`; the factory falls back
+to the reference engine for those, and to ``fast`` when NumPy is
+unavailable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.energy.config import EnergyEvent
+from repro.ir.ops import Operation
+from repro.sim.fast import (
+    FastEngine,
+    _KICK2,
+    _NOTIFY_ADDR,
+    _NOTIFY_K2,
+    _NOTIFY_VALUE,
+    _Template,
+    _VAL_CONST,
+    _VAL_INPUT,
+    _VAL_MIX,
+)
+from repro.sim.result import BackendStats
+from repro.sim.values import forwarded_value, mix
+
+try:  # pragma: no cover - exercised by both branches across environments
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
+
+#: True when the fast-vector engine can run in this interpreter.
+HAVE_NUMPY = _np is not None
+
+_EVENT_INDEX = {ev: i for i, ev in enumerate(EnergyEvent)}
+
+# Issue-record kinds (mirror the engine's three memory services).
+_MEM_LOAD = 0
+_MEM_STORE = 1
+_MEM_FORWARD = 2
+
+_MISSING = object()
+
+
+class _VectorProgram:
+    """A template lowered to flat arrays (see module docstring)."""
+
+    __slots__ = (
+        "row_ids",
+        "row_of",
+        "vp_kind",
+        "vp_aux",
+        "vp_in_off",
+        "vp_in_idx",
+        "n_rows",
+        "static_ids",
+        "static_start",
+        "static_complete",
+        "dyn_ids",
+        "dyn_addr_off",
+        "dyn_value_off",
+        "energy_vector",
+        "_matrices",
+    )
+
+    def __init__(self, tpl: _Template) -> None:
+        # -- value program: opcode / aux / CSR operand-index arrays -----
+        rows = tpl.value_program
+        self.n_rows = len(rows)
+        self.row_ids = [oid for _k, oid, _aux, _ins in rows]
+        self.row_of = {oid: r for r, oid in enumerate(self.row_ids)}
+        self.vp_kind = _np.asarray([k for k, _o, _a, _i in rows], dtype=_np.uint8)
+        self.vp_aux = _np.asarray(
+            [aux if k != _VAL_INPUT else oid for k, oid, aux, _i in rows],
+            dtype=_np.uint64,
+        )
+        offsets = [0]
+        operand_rows: List[int] = []
+        for kind, _oid, _aux, inputs in rows:
+            if kind == _VAL_MIX:
+                operand_rows.extend(self.row_of[i] for i in inputs)
+            offsets.append(len(operand_rows))
+        self.vp_in_off = _np.asarray(offsets, dtype=_np.int64)
+        self.vp_in_idx = _np.asarray(operand_rows, dtype=_np.int64)
+
+        # -- static-op arrival table (offsets relative to t0) -----------
+        times = tpl.static_times
+        self.static_ids = _np.asarray(
+            [op.op_id for op, _s, _c in times], dtype=_np.int64
+        )
+        self.static_start = _np.asarray([s for _o, s, _c in times], dtype=_np.int64)
+        self.static_complete = _np.asarray([c for _o, _s, c in times], dtype=_np.int64)
+
+        # -- dynamic ops' static-input arrival offsets ------------------
+        # The template's notify actions are exactly the cycles at which a
+        # memory op's final fully-static address / value operand reaches
+        # the backend; -1 marks "fed by something dynamic" (the operand
+        # arrives via live _DELIVER replay instead).
+        addr_off: Dict[int, int] = {}
+        value_off: Dict[int, int] = {}
+        for actions in [tpl.kick_actions] + tpl.event_actions:
+            for a in actions:
+                kind = a[0]
+                if kind == _NOTIFY_ADDR:
+                    addr_off[a[1].op_id] = a[2]
+                elif kind == _NOTIFY_VALUE:
+                    value_off[a[1].op_id] = a[2]
+                elif kind in (_KICK2, _NOTIFY_K2):
+                    addr_off.setdefault(a[1].op_id, 0)
+        dyn_ids = sorted(set(addr_off) | set(value_off))
+        self.dyn_ids = _np.asarray(dyn_ids, dtype=_np.int64)
+        self.dyn_addr_off = _np.asarray(
+            [addr_off.get(oid, -1) for oid in dyn_ids], dtype=_np.int64
+        )
+        self.dyn_value_off = _np.asarray(
+            [value_off.get(oid, -1) for oid in dyn_ids], dtype=_np.int64
+        )
+
+        # -- bulk per-invocation energy vector --------------------------
+        vec = _np.zeros(len(EnergyEvent), dtype=_np.int64)
+        vec[_EVENT_INDEX[EnergyEvent.ALU_INT]] = tpl.n_alu_int
+        vec[_EVENT_INDEX[EnergyEvent.ALU_FP]] = tpl.n_alu_fp
+        vec[_EVENT_INDEX[EnergyEvent.NET_LINK]] = tpl.net_charge
+        self.energy_vector = vec
+
+        self._matrices: Dict[int, "_np.ndarray"] = {}
+
+    # ------------------------------------------------------------------
+    def batch(self, n: int) -> Optional["_np.ndarray"]:
+        """Evaluate the value program for invocations ``0..n-1`` at once.
+
+        Returns a ``(n_rows, n)`` uint64 matrix (column = invocation) or
+        ``None`` when no static value is live.  Cached per ``n``.
+        """
+        if not self.n_rows:
+            return None
+        m = self._matrices.get(n)
+        if m is not None:
+            return m
+        from repro.sim.values import mix_array
+
+        inv = _np.arange(n, dtype=_np.uint64)
+        m = _np.empty((self.n_rows, n), dtype=_np.uint64)
+        kinds = self.vp_kind
+        aux = self.vp_aux
+        off = self.vp_in_off
+        idx = self.vp_in_idx
+        for r in range(self.n_rows):
+            k = kinds[r]
+            if k == _VAL_INPUT:
+                m[r] = mix_array(0x1F, int(aux[r]), inv)
+            elif k == _VAL_CONST:
+                m[r] = aux[r]
+            else:
+                lo, hi = int(off[r]), int(off[r + 1])
+                m[r] = mix_array(int(aux[r]), *(m[int(j)] for j in idx[lo:hi]))
+        self._matrices[n] = m
+        return m
+
+    def static_arrivals(self, t0s) -> Dict[str, "_np.ndarray"]:
+        """Absolute backend-arrival cycles per dynamic op per invocation.
+
+        ``t0s`` is an array of invocation start cycles; offsets of -1
+        (dynamically fed operands) stay -1.
+        """
+        t0s = _np.asarray(t0s, dtype=_np.int64)[:, None]
+        addr = _np.where(
+            self.dyn_addr_off >= 0, self.dyn_addr_off + t0s, self.dyn_addr_off
+        )
+        value = _np.where(
+            self.dyn_value_off >= 0, self.dyn_value_off + t0s, self.dyn_value_off
+        )
+        return {"op_ids": self.dyn_ids, "addr": addr, "value": value}
+
+
+class _Capture:
+    """One captured invocation schedule for a replay signature."""
+
+    __slots__ = (
+        "access_plan",
+        "mem_seq",
+        "energy_delta",
+        "stats_delta",
+        "carryover",
+        "rel_end",
+    )
+
+
+class _HierarchyGuard:
+    """Targeted snapshot of the hierarchy state a replay may touch.
+
+    Every mutation ``MemoryHierarchy.access`` can make is confined to
+    the cache sets of the accessed lines (per level), the cache stats,
+    the MSHR table and the port schedule — so that is all the guard
+    copies, keeping a failed replay O(accesses), not O(cache).
+    """
+
+    __slots__ = ("_h", "_levels", "_outstanding", "_ports")
+
+    def __init__(self, hierarchy, addrs) -> None:
+        self._h = hierarchy
+        levels = []
+        for cache in (hierarchy.l1, hierarchy.l2):
+            n_sets = cache.config.n_sets
+            sets = cache._sets
+            entries = {}
+            for addr in addrs:
+                idx = cache.line_of(addr) % n_sets
+                if idx not in entries:
+                    ways = sets.get(idx)
+                    entries[idx] = None if ways is None else list(ways.items())
+            st = cache.stats
+            levels.append(
+                (
+                    cache,
+                    entries,
+                    (
+                        st.read_hits,
+                        st.read_misses,
+                        st.write_hits,
+                        st.write_misses,
+                        st.evictions,
+                        st.writebacks,
+                    ),
+                )
+            )
+        self._levels = levels
+        self._outstanding = dict(hierarchy._outstanding)
+        self._ports = list(hierarchy._port_free)
+
+    def restore(self) -> None:
+        for cache, entries, st in self._levels:
+            sets = cache._sets
+            for idx, items in entries.items():
+                if items is None:
+                    sets.pop(idx, None)
+                else:
+                    sets[idx] = OrderedDict(items)
+            s = cache.stats
+            (
+                s.read_hits,
+                s.read_misses,
+                s.write_hits,
+                s.write_misses,
+                s.evictions,
+                s.writebacks,
+            ) = st
+        h = self._h
+        h._outstanding.clear()
+        h._outstanding.update(self._outstanding)
+        h._port_free[:] = self._ports
+
+
+class VectorEngine(FastEngine):
+    """Batch-replaying engine, bit-exact with :class:`DataflowEngine`."""
+
+    #: Replay is disabled engine-wide once divergences outnumber
+    #: successful replays by this margin: the region's hierarchy timing
+    #: varies per invocation faster than captures pay off, and every
+    #: further attempt is pure overhead.  Convergent regions pay one
+    #: divergence per signature (the cold->warm transition) and then
+    #: replay repeatedly, so their margin goes negative and stays there.
+    DIVERGENCE_MARGIN = 4
+    #: Replay is likewise disabled once captures outnumber successful
+    #: replays by this margin (signature churn: the region keeps
+    #: presenting new alias patterns, so instrumented captures pile up
+    #: without ever being replayed often enough to pay for themselves).
+    CAPTURE_MARGIN = 8
+    #: Divergences a single signature may accumulate before it is
+    #: declared dead (its timing varies per invocation, not just across
+    #: the one-time cache warm-up; stop re-capturing it).
+    SIGNATURE_STRIKES = 2
+
+    def __init__(self, *args, **kwargs) -> None:
+        if not HAVE_NUMPY:
+            raise RuntimeError(
+                "VectorEngine requires NumPy; use make_engine(), which "
+                "falls back to the fast engine"
+            )
+        super().__init__(*args, **kwargs)
+        self._vec: Optional[_VectorProgram] = None
+        self._captures: Dict[tuple, _Capture] = {}
+        self._strikes: Dict[tuple, int] = {}
+        self._dead: set = set()
+        self._cap_issues: Optional[List[tuple]] = None
+        self._cap_order: Optional[List[int]] = None
+        self._replay_off = False
+        self._n_ops = len(self._ops)
+        self.vector_stats: Dict[str, object] = {
+            "invocations": 0,
+            "captured": 0,
+            "replayed": 0,
+            "divergences": 0,
+            "ops_vectorized": 0,
+            "ops_dynamic": 0,
+            "fallback_reasons": {},
+        }
+
+    # ------------------------------------------------------------------
+    # Lowering
+    # ------------------------------------------------------------------
+    def _ensure_vector(self) -> _VectorProgram:
+        """Fetch (or build) this region's lowered program.
+
+        Like the schedule template it lowers, the program depends only
+        on (graph, placement, engine config), so it is cached on the
+        graph object and shared across systems.
+        """
+        vec = self._vec
+        if vec is None:
+            tpl = self._template
+            if tpl is None:
+                tpl = self._attach_template()
+            cache = self.graph.__dict__.setdefault("_vector_program_cache", {})
+            key = (id(self.placement), dataclasses.astuple(self.config))
+            hit = cache.get(key)
+            if hit is None or hit[0] is not self.placement:
+                cache[key] = hit = (self.placement, _VectorProgram(tpl))
+            self._vec = vec = hit[1]
+        return vec
+
+    # ------------------------------------------------------------------
+    # Batch value pass
+    # ------------------------------------------------------------------
+    def run(self, invocations, region_name=None, addr_streams=None):
+        envs = (
+            invocations if isinstance(invocations, list) else list(invocations)
+        )
+        if self._template is None:
+            self._attach_template()
+        vec = self._ensure_vector()
+        tpl = self._template
+        matrix = vec.batch(len(envs))
+        if matrix is not None:
+            # One C-level pass materialises every invocation's live
+            # static values; dict insertion order matches the scalar
+            # path (value_program order) by construction.
+            cache = tpl.value_cache
+            ids = vec.row_ids
+            cols = matrix.T.tolist()
+            for i in range(len(envs)):
+                if i not in cache:
+                    cache[i] = dict(zip(ids, cols[i]))
+        result = super().run(envs, region_name, addr_streams)
+        self._record_profile(region_name or self.graph.name)
+        return result
+
+    def _static_values(self, tpl: _Template, inv: int) -> Dict[int, int]:
+        vals = tpl.value_cache.get(inv)
+        if vals is None:  # direct _run_invocation call; scalar fallback
+            vals = {}
+            for kind, oid, aux, inputs in tpl.value_program:
+                if kind == _VAL_MIX:
+                    vals[oid] = mix(aux, *(vals[i] for i in inputs))
+                elif kind == _VAL_CONST:
+                    vals[oid] = aux
+                else:
+                    vals[oid] = mix(0x1F, oid, inv)
+            tpl.value_cache[inv] = vals
+        return vals
+
+    # ------------------------------------------------------------------
+    # Invocation dispatch: replay when possible, else capture
+    # ------------------------------------------------------------------
+    def _run_invocation(self, inv, t0, env):
+        if self._template is None:
+            self._attach_template()
+        self._ensure_vector()
+        st = self.vector_stats
+        st["invocations"] += 1
+        if self.recorder is not None:
+            return self._fallback(inv, t0, env, "recorder")
+        if self._replay_off:
+            return self._fallback(inv, t0, env, "replay-disabled")
+        if self._addr_streams is not None:
+            addr_of = self._addr_streams[inv]
+        else:
+            addr_of = {
+                op.op_id: (op.addr.evaluate(env), op.addr.width)
+                for op in self._mem_ops
+            }
+        sig = self.backend.replay_signature(addr_of)
+        if sig is None:
+            return self._fallback(inv, t0, env, "backend-opaque")
+        if sig in self._dead:
+            # This signature struck out: its hierarchy timing diverged
+            # on every retry (so it varies per invocation, not just
+            # across the one-time cold->warm transition); further
+            # capture attempts would only add instrumentation overhead.
+            return self._fallback(inv, t0, env, "replay-disabled")
+        cap = self._captures.get(sig)
+        if cap is not None:
+            end = self._replay(inv, t0, cap, addr_of)
+            if end is not None:
+                st["replayed"] += 1
+                st["ops_vectorized"] += self._n_ops
+                return end
+            st["divergences"] += 1
+            del self._captures[sig]
+            if (
+                st["divergences"] - st["replayed"]
+                >= self.DIVERGENCE_MARGIN
+            ):
+                self._replay_off = True
+                return self._fallback(inv, t0, env, "replay-disabled")
+            strikes = self._strikes.get(sig, 0) + 1
+            self._strikes[sig] = strikes
+            if strikes >= self.SIGNATURE_STRIKES:
+                self._dead.add(sig)
+                return self._fallback(inv, t0, env, "divergence")
+            return self._fallback(inv, t0, env, "divergence", sig)
+        return self._fallback(inv, t0, env, "first-capture", sig)
+
+    # ------------------------------------------------------------------
+    # Capture path
+    # ------------------------------------------------------------------
+    def _fallback(self, inv, t0, env, reason: str, sig=None):
+        st = self.vector_stats
+        reasons = st["fallback_reasons"]
+        reasons[reason] = reasons.get(reason, 0) + 1
+        tpl = self._template
+        st["ops_vectorized"] += tpl.n_static
+        st["ops_dynamic"] += self._n_ops - tpl.n_static
+        if sig is None:
+            return FastEngine._run_invocation(self, inv, t0, env)
+
+        issues: List[tuple] = []
+        completion_order: List[int] = []
+        accesses: List[Tuple[int, int, int]] = []
+        hierarchy = self.hierarchy
+        real_access = hierarchy.access
+
+        def tapped(addr, is_write, cycle):
+            res = real_access(addr, is_write, cycle)
+            accesses.append((cycle, res.start, res.complete))
+            return res
+
+        energy_before = dict(self.energy.counts)
+        stats = self.backend.stats
+        names = BackendStats.COUNTERS
+        stats_before = [getattr(stats, name) for name in names]
+        self._cap_issues = issues
+        self._cap_order = completion_order
+        hierarchy.access = tapped
+        try:
+            end = FastEngine._run_invocation(self, inv, t0, env)
+        finally:
+            del hierarchy.access
+            self._cap_issues = None
+            self._cap_order = None
+
+        plan: List[Tuple[int, bool, int, int, int]] = []
+        ai = 0
+        for kind, op, done, _src in issues:
+            if kind != _MEM_FORWARD:
+                cycle, start, complete = accesses[ai]
+                ai += 1
+                plan.append(
+                    (op.op_id, kind == _MEM_STORE, cycle - t0, start - t0,
+                     complete - t0)
+                )
+        if ai != len(accesses):
+            # Something other than do_load/do_store touched the
+            # hierarchy mid-invocation; the capture model no longer
+            # holds, so stop replaying rather than risk exactness.
+            self._replay_off = True
+            return end
+
+        if len(completion_order) != len(issues):
+            # A completion never drained (or drained twice) — the
+            # capture is not a faithful schedule; stop replaying.
+            self._replay_off = True
+            return end
+        cap = _Capture()
+        cap.access_plan = plan
+        # Completion (drain) order is recorded live, not reconstructed:
+        # a backend may issue an access whose completion cycle is in
+        # the *past* (e.g. a speculative load verified late), and the
+        # queue runs such an event at the current cycle — so sorting by
+        # completion cycle would misplace it.  Each service pushes a
+        # marker right after its completion closure at the same cycle;
+        # FIFO buckets (and the late-insert heap) drain the marker
+        # immediately after the closure, yielding the exact order.
+        cap.mem_seq = [
+            (issues[i][0], issues[i][1], issues[i][3])
+            for i in completion_order
+        ]
+        counts = self.energy.counts
+        cap.energy_delta = tuple(
+            (ev, counts[ev] - before)
+            for ev, before in energy_before.items()
+            if counts[ev] != before
+        )
+        cap.stats_delta = tuple(
+            (name, getattr(stats, name) - before)
+            for name, before in zip(names, stats_before)
+            if getattr(stats, name) != before
+        )
+        cap.carryover = self.backend.replay_carryover()
+        cap.rel_end = end - t0
+        self._captures[sig] = cap
+        st["captured"] += 1
+        if st["captured"] - st["replayed"] >= self.CAPTURE_MARGIN:
+            self._replay_off = True
+        return end
+
+    # Issue recording: each service appends exactly one record in call
+    # order, which keeps records aligned index-for-index with the
+    # hierarchy accesses the capture tap observed.  The marker event is
+    # pushed right after the service pushed its completion closure (at
+    # the same cycle), so it drains immediately after the completion —
+    # recording the true drain position of each memory op.
+    def _record_issue(self, record: tuple, done: int) -> None:
+        issues = self._cap_issues
+        index = len(issues)
+        issues.append(record)
+        order = self._cap_order
+        self._queue.push(done, lambda: order.append(index))
+
+    def do_load(self, op: Operation, t_start: int) -> int:
+        done = super().do_load(op, t_start)
+        if self._cap_issues is not None:
+            self._record_issue((_MEM_LOAD, op, done, None), done)
+        return done
+
+    def do_store(self, op: Operation, t_start: int) -> int:
+        done = super().do_store(op, t_start)
+        if self._cap_issues is not None:
+            self._record_issue((_MEM_STORE, op, done, None), done)
+        return done
+
+    def forward_load(self, op: Operation, src_store: Operation, t: int) -> int:
+        done = super().forward_load(op, src_store, t)
+        if self._cap_issues is not None:
+            self._record_issue((_MEM_FORWARD, op, done, src_store), done)
+        return done
+
+    # ------------------------------------------------------------------
+    # Replay path
+    # ------------------------------------------------------------------
+    def _replay(self, inv, t0, cap: _Capture, addr_of) -> Optional[int]:
+        """Replay a captured invocation; ``None`` means divergence
+        (hierarchy state already restored)."""
+        hierarchy = self.hierarchy
+        guard = _HierarchyGuard(
+            hierarchy, [addr_of[oid][0] for oid, _w, _c, _s, _e in cap.access_plan]
+        )
+        access = hierarchy.access
+        for oid, is_write, rel_cycle, rel_start, rel_complete in cap.access_plan:
+            res = access(addr_of[oid][0], is_write, t0 + rel_cycle)
+            if res.start - t0 != rel_start or res.complete - t0 != rel_complete:
+                guard.restore()
+                return None
+
+        # The schedule is confirmed: bulk-apply the captured outcome.
+        backend = self.backend
+        if cap.carryover is not None:
+            backend.apply_carryover(cap.carryover)
+        counts = self.energy.counts
+        for ev, delta in cap.energy_delta:
+            counts[ev] += delta
+        stats = backend.stats
+        for name, delta in cap.stats_delta:
+            setattr(stats, name, getattr(stats, name) + delta)
+
+        self._inv_index = inv
+        self._t0 = t0
+        vals = dict(self._static_values(self._template, inv))
+        exec_plan = self._exec_plan
+        memory = self.memory
+        load_values = self.load_values
+
+        def val(oid: int) -> int:
+            v = vals.get(oid, _MISSING)
+            if v is _MISSING:
+                _lat, _ev, mix_id, inputs = exec_plan[oid]
+                v = mix(mix_id, *(val(i) for i in inputs))
+                vals[oid] = v
+            return v
+
+        for kind, op, src in cap.mem_seq:
+            addr, width = addr_of[op.op_id]
+            if kind == _MEM_LOAD:
+                v = memory.load(addr, width)
+                load_values[(inv, op.op_id)] = v
+            elif kind == _MEM_FORWARD:
+                v = forwarded_value(val(src.inputs[-1]), width)
+                load_values[(inv, op.op_id)] = v
+            else:
+                v = val(op.inputs[-1])
+                memory.store(addr, width, v)
+            vals[op.op_id] = v
+
+        end = t0 + cap.rel_end
+        self._inv_end = end
+        return end
+
+    # ------------------------------------------------------------------
+    def _record_profile(self, region: str) -> None:
+        from repro.obs.profile import get_profile
+
+        prof = get_profile()
+        if prof.enabled:
+            prof.record_vector(region, self.backend.name, self.vector_stats)

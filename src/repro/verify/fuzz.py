@@ -96,14 +96,16 @@ class FuzzFailure:
     oracle_ok: bool
     sanitizer: SanitizerReport
     shrunk_from: Optional[int] = None  # op count before shrinking
-    engine_divergence: bool = False    # reference vs fast SimResult differ
+    engine_divergence: bool = False    # reference vs fast-mode results differ
+    diverged_mode: Optional[str] = None  # which fast mode diverged
 
     def describe(self) -> str:
         parts = [f"{self.system} failed on {self.spec.name} "
                  f"({len(self.spec.ops)} mem ops, {len(self.spec.envs)} inv)"]
         if self.engine_divergence:
-            parts.append("  engine divergence: reference and fast modes "
-                         "produced different SimResults")
+            mode = self.diverged_mode or "fast"
+            parts.append(f"  engine divergence: reference and {mode!r} "
+                         "modes produced different SimResults")
         if not self.oracle_ok:
             parts.append("  golden-model mismatch (wrong load value or "
                          "final memory image)")
@@ -279,14 +281,36 @@ def run_spec_result(spec: RegionSpec, system: str, mode: str) -> bytes:
     return pickle.dumps(engine.run(spec.env_dicts()))
 
 
-def _modes_diverge(spec: RegionSpec, system: str) -> bool:
-    """Shrink predicate: do reference and fast disagree on *spec*?"""
+#: Fast engine modes cross-checked per ``engines`` selection.
+_ENGINES_UNDER_TEST = {
+    "reference": (),
+    "both": ("fast",),
+    "all": ("fast", "fast-vector"),
+}
+
+
+def _modes_diverge(spec: RegionSpec, system: str, mode: str = "fast") -> bool:
+    """Shrink predicate: do reference and *mode* disagree on *spec*?"""
     try:
         ref = run_spec_result(spec, system, "reference")
-        fast = run_spec_result(spec, system, "fast")
+        fast = run_spec_result(spec, system, mode)
     except Exception:
         return False  # a repro must diverge, not crash elsewhere
     return ref != fast
+
+
+def _first_diverging_mode(
+    spec: RegionSpec, system: str, engines: str
+) -> Optional[str]:
+    """The first fast mode whose SimResult differs from reference's."""
+    modes = _ENGINES_UNDER_TEST[engines]
+    if not modes:
+        return None
+    ref = run_spec_result(spec, system, "reference")
+    for mode in modes:
+        if run_spec_result(spec, system, mode) != ref:
+            return mode
+    return None
 
 
 def check_spec(
@@ -299,7 +323,9 @@ def check_spec(
         oracle_ok, report = run_spec(spec, system)
         if not oracle_ok or not report.ok:
             failures.append(FuzzFailure(spec, system, oracle_ok, report))
-        elif engines == "both" and _modes_diverge(spec, system):
+            continue
+        diverged = _first_diverging_mode(spec, system, engines)
+        if diverged is not None:
             failures.append(
                 FuzzFailure(
                     spec,
@@ -307,6 +333,7 @@ def check_spec(
                     oracle_ok,
                     report,
                     engine_divergence=True,
+                    diverged_mode=diverged,
                 )
             )
     return failures
@@ -401,9 +428,11 @@ def fuzz(
 
     ``engines="both"`` additionally cross-checks every clean
     (spec, system) pair between the reference and fast execution
-    engines: the pickled SimResults must be byte-identical.  A
+    engines — ``engines="all"`` adds fast-vector for a three-way
+    check — and the pickled SimResults must be byte-identical.  A
     divergence is reported (and shrunk) like any other failure, with
-    :attr:`FuzzFailure.engine_divergence` set.
+    :attr:`FuzzFailure.engine_divergence` set and
+    :attr:`FuzzFailure.diverged_mode` naming the mode that broke.
     """
     systems = list(systems) if systems else sorted(BACKENDS)
     for s in systems:
@@ -411,28 +440,33 @@ def fuzz(
             raise ValueError(
                 f"unknown system {s!r}; expected one of {sorted(BACKENDS)}"
             )
-    if engines not in ("reference", "both"):
+    if engines not in _ENGINES_UNDER_TEST:
         raise ValueError(
             f"unknown engines selection {engines!r}; "
-            "expected 'reference' or 'both'"
+            f"expected one of {sorted(_ENGINES_UNDER_TEST)}"
         )
     result = FuzzResult()
+    runs_per_pair = 1 + len(_ENGINES_UNDER_TEST[engines])
     for k in range(count):
         if progress is not None:
             progress(k, count)
         spec = generate_spec(seed, k)
         result.regions += 1
-        result.runs += len(systems) * (2 if engines == "both" else 1)
+        result.runs += len(systems) * runs_per_pair
         for failure in check_spec(spec, systems, engines=engines):
             if shrink_failures and failure.engine_divergence:
                 n_before = len(failure.spec.ops)
+                mode = failure.diverged_mode or "fast"
                 small = shrink(
-                    failure.spec, failure.system, fails=_modes_diverge
+                    failure.spec,
+                    failure.system,
+                    fails=lambda sp, sy: _modes_diverge(sp, sy, mode),
                 )
                 failure = FuzzFailure(
                     small, failure.system, failure.oracle_ok,
                     failure.sanitizer, shrunk_from=n_before,
                     engine_divergence=True,
+                    diverged_mode=mode,
                 )
             elif shrink_failures:
                 n_before = len(failure.spec.ops)

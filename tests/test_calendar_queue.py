@@ -1,0 +1,148 @@
+"""Property tests: ``_CalendarQueue`` is order-equivalent to a heapq.
+
+The fast engines' bit-exactness argument leans on one queue invariant:
+for any stream of ``push(time, fn)`` calls — including pushes made *by*
+running events, at the current cycle, and strictly in the past — events
+run in exactly the ``(time, seq)`` order a ``heapq`` of
+``(time, push-counter, fn)`` tuples would produce.  These tests check
+that equivalence directly on randomly generated self-spawning workloads,
+plus targeted cases for each tricky seam (same-cycle FIFO append, the
+late-insert overflow heap, and queue reuse after a drain).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.fast import _CalendarQueue
+
+# A workload is (initial, spawns): ``initial`` seeds the queue with
+# (time, event-id) pairs; ``spawns[eid]`` lists (dt, child-id) pairs the
+# event pushes at ``its own time + dt`` when it runs.  Negative dt means
+# a push strictly into the past once the queue has advanced.
+Workload = Tuple[List[Tuple[int, int]], Dict[int, Sequence[Tuple[int, int]]]]
+
+
+def _run_calendar(workload: Workload) -> List[int]:
+    initial, spawns = workload
+    queue = _CalendarQueue()
+    order: List[int] = []
+
+    def make(eid: int, time: int):
+        def fn() -> None:
+            order.append(eid)
+            for dt, cid in spawns.get(eid, ()):
+                queue.push(time + dt, make(cid, time + dt))
+
+        return fn
+
+    for time, eid in initial:
+        queue.push(time, make(eid, time))
+    queue.drain()
+    assert len(queue) == 0
+    return order
+
+
+def _run_heapq(workload: Workload) -> List[int]:
+    initial, spawns = workload
+    heap: List[Tuple[int, int, int]] = []
+    seq = itertools.count()
+    order: List[int] = []
+
+    for time, eid in initial:
+        heapq.heappush(heap, (time, next(seq), eid))
+    while heap:
+        time, _, eid = heapq.heappop(heap)
+        order.append(eid)
+        for dt, cid in spawns.get(eid, ()):
+            heapq.heappush(heap, (time + dt, next(seq), cid))
+    return order
+
+
+def _random_workload(rng: random.Random) -> Workload:
+    ids = itertools.count()
+    initial = [(rng.randrange(0, 40), next(ids)) for _ in range(20)]
+    # Duplicate seed times force same-cycle FIFO ordering to matter.
+    initial += [(initial[i][0], next(ids)) for i in range(0, 20, 4)]
+    spawns: Dict[int, Sequence[Tuple[int, int]]] = {}
+    frontier = [eid for _, eid in initial]
+    budget = 80
+    while budget > 0 and frontier:
+        eid = frontier.pop(rng.randrange(len(frontier)))
+        kids = []
+        for _ in range(rng.randrange(0, 3)):
+            if budget <= 0:
+                break
+            cid = next(ids)
+            # Mostly future pushes, a steady minority into the past
+            # (exercising the late-overflow heap) and onto "now".
+            dt = rng.choice((-6, -3, -1, 0, 0, 1, 1, 2, 4, 9))
+            kids.append((dt, cid))
+            frontier.append(cid)
+            budget -= 1
+        if kids:
+            spawns[eid] = tuple(kids)
+    return initial, spawns
+
+
+def test_matches_heapq_on_random_self_spawning_streams():
+    for seed in range(60):
+        rng = random.Random(seed)
+        workload = _random_workload(rng)
+        assert _run_calendar(workload) == _run_heapq(workload), (
+            f"order diverged from heapq for seed {seed}"
+        )
+
+
+def test_same_cycle_pushes_drain_fifo():
+    # Three seeds at one cycle; the first spawns two more at that same
+    # cycle mid-drain.  heapq order: 0, 1, 2, then the two children.
+    workload = ([(5, 0), (5, 1), (5, 2)], {0: ((0, 3), (0, 4))})
+    assert _run_calendar(workload) == _run_heapq(workload) == [0, 1, 2, 3, 4]
+
+
+def test_past_push_preempts_rest_of_bucket():
+    # Event 0 (cycle 9) pushes event 3 at cycle 2 — strictly in the
+    # past.  heapq pops (2, ...) before (9, ...) entries still queued,
+    # i.e. the late event runs before 1 and 2 finish the bucket.
+    workload = ([(9, 0), (9, 1), (9, 2)], {0: ((-7, 3),)})
+    assert _run_calendar(workload) == _run_heapq(workload) == [0, 3, 1, 2]
+
+
+def test_late_overflow_heap_orders_by_time_then_seq():
+    # Two past pushes at different past cycles plus one tie: drained in
+    # (time, seq) order, not push order.
+    workload = (
+        [(10, 0), (10, 1)],
+        {0: ((-2, 2), (-5, 3), (-5, 4)), 2: ((-1, 5),)},
+    )
+    assert _run_calendar(workload) == _run_heapq(workload)
+
+
+def test_cascading_past_pushes_inside_late_drain():
+    # A late event itself pushes further into the past, and also spawns
+    # a future event; both must interleave exactly as heapq would.
+    workload = (
+        [(20, 0), (20, 1), (25, 6)],
+        {0: ((-10, 2),), 2: ((-5, 3), (3, 4)), 3: ((0, 5),)},
+    )
+    assert _run_calendar(workload) == _run_heapq(workload)
+
+
+def test_queue_reusable_after_drain():
+    queue = _CalendarQueue()
+    order: List[int] = []
+    queue.push(3, lambda: order.append(0))
+    queue.drain()
+    # After a full drain the clock rewinds: pushing at an *earlier*
+    # absolute cycle than the previous drain reached is a normal future
+    # push for the next drain, exactly like a fresh heapq.
+    queue.push(1, lambda: order.append(1))
+    queue.push(1, lambda: order.append(2))
+    assert len(queue) == 2
+    queue.drain()
+    assert order == [0, 1, 2]
+    assert len(queue) == 0

@@ -1,12 +1,15 @@
-"""Differential equivalence suite: reference engine vs fast engine.
+"""Differential equivalence suite: reference vs fast vs fast-vector.
 
 The fast engine (:class:`repro.sim.fast.FastEngine`) replays invocation
 schedule templates instead of re-simulating the static compute subgraph
-event by event.  Its contract is *byte-identity*: for any (region,
-backend, invocation stream), ``pickle.dumps(SimResult)`` must equal the
-reference engine's — same cycles, load values, memory image, energy
-counts, cache stats, backend stats, everything.  This suite enforces
-that contract over three corpora:
+event by event; the fast-vector engine
+(:class:`repro.sim.vector.VectorEngine`) adds the NumPy batch value
+pass and guarded invocation replay on top.  The contract for both is
+*byte-identity*: for any (region, backend, invocation stream),
+``pickle.dumps(SimResult)`` must equal the reference engine's — same
+cycles, load values, memory image, energy counts, cache stats, backend
+stats, everything.  This suite enforces that contract over three
+corpora:
 
 * the full memory-ordering litmus suite (every pattern x every backend,
   multi-invocation so templates actually get replayed),
@@ -42,12 +45,16 @@ from repro.sim import (
     make_engine,
     resolve_engine_mode,
 )
+from repro.sim.vector import VectorEngine
 from repro.verify.fuzz import fuzz, generate_spec, run_spec_result
 from repro.workloads.suite import benchmark_names
 
 FUZZ_SEED = 0
 FUZZ_SPECS = 200
 FUZZ_CHUNK = 25
+
+#: Template-based modes checked against the reference engine.
+FAST_MODES = ("fast", "fast-vector")
 
 
 def _result_bytes(build_fn, backend_name, envs, mode):
@@ -79,8 +86,9 @@ def test_litmus_equivalence(backend, litmus):
     # exercise the replay path.
     envs = envs * 3
     ref = _result_bytes(build_fn, backend, envs, "reference")
-    fast = _result_bytes(build_fn, backend, envs, "fast")
-    assert ref == fast, f"{litmus}/{backend}: SimResults diverge"
+    for mode in FAST_MODES:
+        fast = _result_bytes(build_fn, backend, envs, mode)
+        assert ref == fast, f"{litmus}/{backend}/{mode}: SimResults diverge"
 
 
 # ---------------------------------------------------------------------------
@@ -92,8 +100,11 @@ def test_fuzz_corpus_equivalence(chunk):
         spec = generate_spec(FUZZ_SEED, index)
         for system in sorted(BACKENDS):
             ref = run_spec_result(spec, system, "reference")
-            fast = run_spec_result(spec, system, "fast")
-            assert ref == fast, f"{spec.name}/{system}: SimResults diverge"
+            for mode in FAST_MODES:
+                fast = run_spec_result(spec, system, mode)
+                assert ref == fast, (
+                    f"{spec.name}/{system}/{mode}: SimResults diverge"
+                )
 
 
 def test_fuzz_engines_both_wiring():
@@ -101,6 +112,13 @@ def test_fuzz_engines_both_wiring():
     result = fuzz(5, seed=3, engines="both", shrink_failures=False)
     assert result.ok, [f.describe() for f in result.failures]
     assert result.runs == 5 * len(BACKENDS) * 2
+
+
+def test_fuzz_engines_all_wiring():
+    """``fuzz(engines='all')`` triples the run count (3-way check)."""
+    result = fuzz(5, seed=3, engines="all", shrink_failures=False)
+    assert result.ok, [f.describe() for f in result.failures]
+    assert result.runs == 5 * len(BACKENDS) * 3
 
 
 def test_fuzz_engines_rejects_unknown():
@@ -123,14 +141,15 @@ def test_real_region_equivalence(bench):
             workload, system, invocations=4,
             engine_config=EngineConfig(mode="reference"),
         )
-        fast = run_system(
-            workload, system, invocations=4,
-            engine_config=EngineConfig(mode="fast"),
-        )
-        assert pickle.dumps(ref.sim) == pickle.dumps(fast.sim), (
-            f"{bench}/{system}: SimResults diverge"
-        )
-        assert fast.correct
+        for mode in FAST_MODES:
+            fast = run_system(
+                workload, system, invocations=4,
+                engine_config=EngineConfig(mode=mode),
+            )
+            assert pickle.dumps(ref.sim) == pickle.dumps(fast.sim), (
+                f"{bench}/{system}/{mode}: SimResults diverge"
+            )
+            assert fast.correct
 
 
 # ---------------------------------------------------------------------------
@@ -165,31 +184,37 @@ def test_make_engine_builds_requested_class():
     eng = make_engine(graph, placement, hierarchy, backend, mode="fast")
     assert type(eng) is FastEngine
     graph, placement, hierarchy, backend = _micro_engine_parts()
+    eng = make_engine(graph, placement, hierarchy, backend, mode="fast-vector")
+    assert type(eng) is VectorEngine
+    graph, placement, hierarchy, backend = _micro_engine_parts()
     eng = make_engine(graph, placement, hierarchy, backend, mode="reference")
     assert type(eng) is DataflowEngine
 
 
-def test_fast_with_tracer_falls_back_loudly():
+@pytest.mark.parametrize("mode", FAST_MODES)
+def test_fast_with_tracer_falls_back_loudly(mode):
     graph, placement, hierarchy, backend = _micro_engine_parts()
     with pytest.warns(EngineModeFallback, match="tracing"):
         eng = make_engine(
-            graph, placement, hierarchy, backend, tracer=Tracer(), mode="fast"
+            graph, placement, hierarchy, backend, tracer=Tracer(), mode=mode
         )
     assert type(eng) is DataflowEngine
 
 
-def test_fast_with_link_contention_falls_back_loudly():
+@pytest.mark.parametrize("mode", FAST_MODES)
+def test_fast_with_link_contention_falls_back_loudly(mode):
     graph, placement, hierarchy, backend = _micro_engine_parts()
-    cfg = EngineConfig(mode="fast", model_link_contention=True)
+    cfg = EngineConfig(mode=mode, model_link_contention=True)
     with pytest.warns(EngineModeFallback, match="contention"):
         eng = make_engine(graph, placement, hierarchy, backend, config=cfg)
     assert type(eng) is DataflowEngine
 
 
-def test_fast_engine_direct_construction_refuses_tracer():
+@pytest.mark.parametrize("cls", [FastEngine, VectorEngine])
+def test_fast_engine_direct_construction_refuses_tracer(cls):
     graph, placement, hierarchy, backend = _micro_engine_parts()
     with pytest.raises(ValueError):
-        FastEngine(graph, placement, hierarchy, backend, tracer=Tracer())
+        cls(graph, placement, hierarchy, backend, tracer=Tracer())
 
 
 def test_disabled_tracer_does_not_trigger_fallback():
@@ -211,6 +236,134 @@ def test_env_mode_reaches_run_system(monkeypatch):
 
     workload = build_micro("gather")
     ref = run_system(workload, "nachos", invocations=3)
-    monkeypatch.setenv("NACHOS_ENGINE", "fast")
-    fast = run_system(workload, "nachos", invocations=3)
-    assert pickle.dumps(ref.sim) == pickle.dumps(fast.sim)
+    for mode in FAST_MODES:
+        monkeypatch.setenv("NACHOS_ENGINE", mode)
+        fast = run_system(workload, "nachos", invocations=3)
+        assert pickle.dumps(ref.sim) == pickle.dumps(fast.sim), mode
+
+
+# ---------------------------------------------------------------------------
+# Fast-vector seams: replay instrumentation, batch values, fallbacks
+# ---------------------------------------------------------------------------
+def _vector_parts(litmus="forwarding_chain", backend="opt-lsq"):
+    build_fn, envs = LITMUS[litmus]
+    graph = build_fn()
+    if backend in NEEDS_MDES:
+        compile_region(graph)
+    else:
+        graph.clear_mdes()
+    return graph, place_region(graph), envs
+
+
+def test_vector_replay_actually_fires():
+    """Repeated invocations must be served by guarded replay, and the
+    cold->warm hierarchy transition must register as a divergence that
+    re-captures (never as silent wrong results)."""
+    graph, placement, envs = _vector_parts()
+    engine = VectorEngine(
+        graph, placement, MemoryHierarchy(), BACKENDS["opt-lsq"]()
+    )
+    result = engine.run(envs * 6)
+    st = engine.vector_stats
+    assert st["invocations"] == 6 * len(envs)
+    assert st["captured"] >= 1
+    assert st["replayed"] >= 3
+    assert st["ops_vectorized"] > 0
+    # Byte-identity with the reference engine on the same stream.
+    graph2, placement2, _ = _vector_parts()
+    ref = DataflowEngine(
+        graph2, placement2, MemoryHierarchy(), BACKENDS["opt-lsq"]()
+    )
+    assert pickle.dumps(ref.run(envs * 6)) == pickle.dumps(result)
+
+
+def test_vector_recorder_falls_back_per_invocation():
+    """A timeline recorder forces the per-event path (which feeds it)
+    while staying byte-exact with the reference engine's recording."""
+    from repro.sim.timeline import TimelineRecorder
+
+    graph, placement, envs = _vector_parts()
+    vec_rec = TimelineRecorder()
+    engine = VectorEngine(
+        graph, placement, MemoryHierarchy(), BACKENDS["opt-lsq"](),
+        recorder=vec_rec,
+    )
+    vec = engine.run(envs * 3)
+    st = engine.vector_stats
+    assert st["replayed"] == 0
+    assert st["fallback_reasons"].get("recorder") == 3 * len(envs)
+
+    graph2, placement2, _ = _vector_parts()
+    ref_rec = TimelineRecorder()
+    ref_engine = DataflowEngine(
+        graph2, placement2, MemoryHierarchy(), BACKENDS["opt-lsq"](),
+        recorder=ref_rec,
+    )
+    ref = ref_engine.run(envs * 3)
+    assert pickle.dumps(ref) == pickle.dumps(vec)
+    assert len(vec_rec.invocations) == len(ref_rec.invocations)
+
+
+def test_vector_backend_opaque_signature_falls_back():
+    """A backend whose replay_signature is None never replays (and the
+    engine still matches the per-event result bit-for-bit)."""
+    graph, placement, envs = _vector_parts()
+    backend = BACKENDS["opt-lsq"]()
+    backend.replay_signature = lambda addr_of: None
+    engine = VectorEngine(graph, placement, MemoryHierarchy(), backend)
+    result = engine.run(envs * 3)
+    st = engine.vector_stats
+    assert st["replayed"] == 0
+    assert st["fallback_reasons"].get("backend-opaque") == 3 * len(envs)
+
+    graph2, placement2, _ = _vector_parts()
+    ref = DataflowEngine(
+        graph2, placement2, MemoryHierarchy(), BACKENDS["opt-lsq"]()
+    )
+    assert pickle.dumps(ref.run(envs * 3)) == pickle.dumps(result)
+
+
+def test_vector_batch_values_match_scalar_mix():
+    """mix_array is lane-for-lane bit-exact with mix (the batch value
+    pass depends on it)."""
+    import numpy as np
+
+    from repro.sim.values import mix, mix_array
+
+    invs = np.arange(257, dtype=np.uint64)
+    batch = mix_array(0x1F, 42, invs)
+    for inv in (0, 1, 2, 100, 256):
+        assert int(batch[inv]) == mix(0x1F, 42, inv)
+    nested = mix_array(7, batch, mix_array(9, invs))
+    for inv in (0, 3, 255):
+        assert int(nested[inv]) == mix(7, mix(0x1F, 42, inv), mix(9, inv))
+
+
+def test_vector_profile_counters_recorded():
+    """With profiling enabled, a fast-vector run reports batch-vs-
+    fallback telemetry; with it disabled, nothing is recorded."""
+    from repro.obs.profile import enable_profiling, get_profile, reset_profile
+
+    graph, placement, envs = _vector_parts()
+    engine = VectorEngine(
+        graph, placement, MemoryHierarchy(), BACKENDS["opt-lsq"]()
+    )
+    reset_profile()
+    try:
+        engine.run(envs * 2)
+        assert not get_profile().vectors  # disabled: zero overhead path
+        enable_profiling()
+        graph2, placement2, _ = _vector_parts()
+        engine = VectorEngine(
+            graph2, placement2, MemoryHierarchy(), BACKENDS["opt-lsq"]()
+        )
+        engine.run(envs * 2)
+        records = get_profile().vectors
+        assert len(records) == 1
+        assert records[0].system == "opt-lsq"
+        assert records[0].invocations == 2 * len(envs)
+        rollup = get_profile().vector_rollup()
+        assert records[0].region in rollup
+    finally:
+        reset_profile()
+        get_profile().enabled = False
