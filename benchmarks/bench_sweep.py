@@ -30,6 +30,15 @@ past the timeout, and return corrupt results, yet the supervised
 executor must recover and produce output byte-identical to the
 fault-free cold run.
 
+``--ledger PATH`` appends the report to the perf-observatory run
+ledger (``repro.obs.perf``) — cold/warm wall+CPU, cache hit rate,
+per-figure wall breakdown, and the engine-compare section when present
+— so ``nachos-repro perf check`` can enforce the committed
+``perf_budgets.toml`` over the history and ``perf report`` can render
+the trend dashboard.  All wall times here and in the child CLI come
+from ``time.perf_counter()`` (one monotonic clock source end to end);
+CPU times are ``os.times()`` children deltas.
+
 ``--engine-compare`` adds one cold run per fast mode on a fresh cache
 (``NACHOS_ENGINE=fast`` — template replay — and ``NACHOS_ENGINE=
 fast-vector`` — batch invocation replay) and pins the main cold/warm
@@ -65,6 +74,9 @@ SEED_SERIAL_SECONDS = 200.9
 
 _TIMING_LINE = re.compile(r"^\[(?:[a-z0-9_-]+: [0-9.]+s|cache: .*)\]$")
 
+#: Per-experiment stage timing as printed by the CLI: ``[fig11: 3.2s]``.
+_FIGURE_LINE = re.compile(r"^\[([a-z0-9_-]+): ([0-9.]+)s\]$")
+
 
 def _child_env(cache_dir: Path, jobs: int) -> dict:
     env = dict(os.environ)
@@ -81,6 +93,22 @@ def _strip_timing(output: str) -> str:
     return "\n".join(
         line for line in output.splitlines() if not _TIMING_LINE.match(line)
     )
+
+
+def _parse_figure_walls(output: str) -> dict:
+    """Per-figure wall seconds from the child CLI's stage-timing lines.
+
+    The CLI times every experiment stage with ``time.perf_counter()``
+    and prints ``[<name>: <seconds>s]``; folding those into the report
+    gives the ledger a per-figure breakdown without a second profiling
+    run.  Returns ``{}`` for quick mode (no figure stages).
+    """
+    walls = {}
+    for line in output.splitlines():
+        match = _FIGURE_LINE.match(line)
+        if match and match.group(1) != "cache":
+            walls[match.group(1)] = float(match.group(2))
+    return walls
 
 
 def _timed_run(cmd, env) -> tuple:
@@ -216,6 +244,13 @@ def main(argv=None) -> int:
         help="with --engine-compare: fail if the fast-vector cold-sweep "
         "speedup over the reference engine drops below FLOOR",
     )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="append this report to the perf-observatory run ledger "
+        "(NDJSON; see docs/perf.md)",
+    )
     parser.add_argument("--child-quick", action="store_true", help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
@@ -309,6 +344,9 @@ def main(argv=None) -> int:
             "outputs_identical_cold_vs_warm": identical,
             "cache": stats,
         }
+        figure_walls = _parse_figure_walls(cold_out)
+        if figure_walls:
+            report["per_figure_wall_seconds"] = figure_walls
         if args.chaos:
             report["chaos_spec"] = args.chaos
             report["chaos_seconds"] = round(chaos_s, 2)
@@ -329,6 +367,13 @@ def main(argv=None) -> int:
             }
         Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
         print(json.dumps(report, indent=2))
+        if args.ledger:
+            # _cache_stats already put src/ on sys.path for this import.
+            from repro.obs import PerfLedger, record_from_bench
+
+            ledger = PerfLedger(args.ledger)
+            fp = ledger.append(record_from_bench(report))
+            print(f"[ledger {ledger.path}: appended bench record {fp}]")
         if not identical:
             print("FAIL: warm output differs from cold output", file=sys.stderr)
             return 1

@@ -37,6 +37,16 @@ Usage::
                                        # (bit-exact, separate cache keys)
     nachos-repro profile fig11         # per-stage/per-region wall time,
                                        # cache telemetry, worker usage
+    nachos-repro all --ledger perf/history.ndjson
+                                       # append this run's telemetry to
+                                       # the perf-observatory run ledger
+    nachos-repro perf record --bench BENCH_sweep.json
+                                       # fold a bench report into the ledger
+    nachos-repro perf check            # enforce perf_budgets.toml against
+                                       # the ledger (non-zero on regression)
+    nachos-repro perf report --out perf_report.md --html perf_report.html
+                                       # render the perf-history dashboard
+    nachos-repro perf ls               # list ledger records
 """
 
 from __future__ import annotations
@@ -213,8 +223,44 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out",
-        default="trace.json",
-        help="output path for 'trace' (Chrome-trace/Perfetto JSON)",
+        default=None,
+        help="output path for 'trace' (default trace.json) or for "
+        "'perf report' (default: print to stdout)",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="perf-observatory run ledger (NDJSON).  With experiments / "
+        "profile / verify: append this run's telemetry.  With 'perf': "
+        "the ledger to operate on.  Default $NACHOS_PERF_LEDGER or "
+        "perf/history.ndjson",
+    )
+    parser.add_argument(
+        "--budgets",
+        default="perf_budgets.toml",
+        metavar="PATH",
+        help="for 'perf check'/'perf report': the committed budget file",
+    )
+    parser.add_argument(
+        "--bench",
+        default=None,
+        metavar="PATH",
+        help="for 'perf record': fold a bench_sweep report (BENCH_sweep"
+        ".json) into the ledger",
+    )
+    parser.add_argument(
+        "--coverage",
+        default=None,
+        metavar="PATH",
+        help="for 'perf record': fold an approx_coverage --json summary "
+        "into the ledger",
+    )
+    parser.add_argument(
+        "--html",
+        default=None,
+        metavar="PATH",
+        help="for 'perf report': also render the dashboard as HTML here",
     )
     parser.add_argument(
         "--sanitize",
@@ -302,6 +348,8 @@ def main(argv=None) -> int:
         return _verify_command(args)
     if names and names[0] == "profile":
         return _profile_command(names[1:], args)
+    if names and names[0] == "perf":
+        return _perf_command(names[1:], args)
     if names == ["list"] or names == []:
         print("Available experiments:")
         for name in EXPERIMENTS:
@@ -320,7 +368,7 @@ def main(argv=None) -> int:
     _configure_checkpoint_for(names, args)
 
     stage_seconds = {}
-    if args.metrics:
+    if args.metrics or args.ledger:
         from repro.obs import enable_profiling
 
         enable_profiling()
@@ -328,7 +376,10 @@ def main(argv=None) -> int:
     failed: Dict[str, dict] = {}
     for name in names:
         run, render, takes_inv = EXPERIMENTS[name]
-        start = time.time()
+        # perf_counter, not time.time(): these stage timings feed the
+        # perf ledger and bench_sweep's per-figure breakdown, which must
+        # share one monotonic clock source with the bench harness.
+        start = time.perf_counter()
         try:
             if takes_inv and args.invocations is not None:
                 result = run(invocations=args.invocations)
@@ -337,7 +388,7 @@ def main(argv=None) -> int:
         except SweepError as exc:
             # Graceful degradation: record the per-task failures and move
             # on to the remaining figures instead of aborting the set.
-            stage_seconds[name] = time.time() - start
+            stage_seconds[name] = time.perf_counter() - start
             failed[name] = exc.outcome.as_report()
             print(
                 f"[{name}: FAILED — "
@@ -346,7 +397,7 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             continue
-        stage_seconds[name] = time.time() - start
+        stage_seconds[name] = time.perf_counter() - start
         print(render(result))
         print(f"[{name}: {stage_seconds[name]:.1f}s]")
         if args.svg_dir:
@@ -357,6 +408,8 @@ def main(argv=None) -> int:
 
     if args.metrics:
         _dump_metrics(args.metrics, stage_seconds)
+    if args.ledger:
+        _append_run_ledger(args.ledger, stage_seconds, jobs=args.jobs)
 
     cache = get_cache()
     if cache.enabled and (cache.hits or cache.misses):
@@ -440,6 +493,156 @@ def _dump_metrics(path: str, stage_seconds: Dict[str, float]) -> None:
     print(f"[wrote metrics to {path}]")
 
 
+def _resolve_ledger(args):
+    from repro.obs import PerfLedger, default_ledger_path
+
+    return PerfLedger(args.ledger if args.ledger else default_ledger_path())
+
+
+def _append_run_ledger(path, stage_seconds, jobs=None) -> None:
+    """Append this run's profile (and fast-vector) telemetry to a ledger."""
+    from repro.obs import (
+        PerfLedger,
+        capture_context,
+        get_profile,
+        record_from_profile,
+        record_from_vector,
+    )
+    from repro.runtime.executor import get_jobs
+
+    profile = get_profile()
+    context = capture_context(
+        engine=os.environ.get("NACHOS_ENGINE", "reference"),
+        jobs=jobs if jobs is not None else get_jobs(),
+    )
+    ledger = PerfLedger(path)
+    fp = ledger.append(
+        record_from_profile(profile, stage_seconds, context=context)
+    )
+    appended = [f"profile:{fp}"]
+    vector = record_from_vector(profile, context=context)
+    if vector is not None:
+        appended.append(f"vector:{ledger.append(vector)}")
+    print(f"[ledger {ledger.path}: appended {', '.join(appended)}]")
+
+
+def _perf_command(rest, args) -> int:
+    """``nachos-repro perf record|check|report|ls`` — the perf
+    observatory over the run ledger (see docs/perf.md)."""
+    from repro.obs import (
+        check_ledger,
+        load_budgets,
+        record_from_bench,
+        record_from_coverage,
+        render_html,
+        render_markdown,
+        render_verdicts,
+    )
+    from repro.obs.regress import REGRESSION, BudgetError
+
+    action = rest[0] if rest else "ls"
+    ledger = _resolve_ledger(args)
+
+    if action == "record":
+        if not args.bench and not args.coverage:
+            print(
+                "usage: nachos-repro perf record (--bench BENCH_sweep.json "
+                "| --coverage coverage.json) [--ledger PATH]",
+                file=sys.stderr,
+            )
+            return 2
+        appended = []
+        if args.bench:
+            report = json.loads(Path(args.bench).read_text())
+            appended.append(("bench", ledger.append(record_from_bench(report))))
+        if args.coverage:
+            summary = json.loads(Path(args.coverage).read_text())
+            appended.append(
+                ("coverage", ledger.append(record_from_coverage(summary)))
+            )
+        for source, fp in appended:
+            print(f"[ledger {ledger.path}: appended {source} record {fp}]")
+        return 0
+
+    records = ledger.records()
+    if ledger.skipped:
+        print(
+            f"[WARNING: skipped {ledger.skipped} unreadable/newer-schema "
+            f"ledger line(s)]",
+            file=sys.stderr,
+        )
+
+    if action == "ls":
+        if not records:
+            print(f"ledger {ledger.path}: no records")
+            return 0
+        print(f"ledger {ledger.path}: {len(records)} record(s)")
+        for i, record in enumerate(records):
+            ctx = record.context
+            shape = " ".join(
+                f"{k}={ctx[k]}"
+                for k in ("mode", "engine", "jobs") if k in ctx
+            )
+            print(
+                f"  [{i:>3}] {record.ts or '-':<20} {record.source:<9} "
+                f"fp={record.fingerprint()} sha={ctx.get('git_sha', '?'):<12} "
+                f"{len(record.metrics)} metric(s) {shape}"
+            )
+        return 0
+
+    if action == "check":
+        if not Path(args.budgets).exists():
+            print(f"budget file not found: {args.budgets}", file=sys.stderr)
+            return 2
+        try:
+            budgets, blessed = load_budgets(args.budgets)
+        except BudgetError as exc:
+            print(f"bad budget file {args.budgets}: {exc}", file=sys.stderr)
+            return 2
+        verdicts = check_ledger(records, budgets, blessed)
+        print(render_verdicts(verdicts))
+        if any(v.status == REGRESSION for v in verdicts):
+            print(
+                "FAIL: perf budget regression — either fix the hot path or "
+                "bless the record in perf_budgets.toml (see docs/perf.md)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if action == "report":
+        if not records:
+            print(f"ledger {ledger.path}: no records to report", file=sys.stderr)
+            return 2
+        verdicts = []
+        if Path(args.budgets).exists():
+            try:
+                budgets, blessed = load_budgets(args.budgets)
+                verdicts = check_ledger(records, budgets, blessed)
+            except BudgetError as exc:
+                print(
+                    f"[WARNING: ignoring bad budget file {args.budgets}: {exc}]",
+                    file=sys.stderr,
+                )
+        markdown = render_markdown(records, verdicts)
+        if args.out:
+            Path(args.out).write_text(markdown)
+            print(f"[wrote {args.out}]")
+        if args.html:
+            Path(args.html).write_text(render_html(records, verdicts))
+            print(f"[wrote {args.html}]")
+        if not args.out and not args.html:
+            print(markdown, end="")
+        return 0
+
+    print(
+        f"unknown perf action {action!r}; expected "
+        f"'record', 'check', 'report', or 'ls'",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _trace_command(rest, args) -> int:
     """``nachos-repro trace <region> --system <sys> --out trace.json``."""
     from collections import Counter as TallyCounter
@@ -463,7 +666,8 @@ def _trace_command(rest, args) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
 
-    start = time.time()
+    out_path = args.out or "trace.json"
+    start = time.perf_counter()
     try:
         run = traced_run(
             workload, args.system, invocations=args.invocations
@@ -478,7 +682,7 @@ def _trace_command(rest, args) -> int:
         region=workload.name,
         backend=args.system,
     )
-    write_chrome_trace(args.out, trace)
+    write_chrome_trace(out_path, trace)
 
     sim = run.sim
     print(f"region {workload.name} under {args.system}: "
@@ -495,8 +699,9 @@ def _trace_command(rest, args) -> int:
         drift = {k: (counted[k], stats[k]) for k in stats if counted[k] != stats[k]}
         print(f"[WARNING: trace counters diverge from backend stats: {drift}]",
               file=sys.stderr)
-    print(f"[wrote {len(trace['traceEvents'])} trace events to {args.out} "
-          f"in {time.time() - start:.1f}s — open in https://ui.perfetto.dev]")
+    print(f"[wrote {len(trace['traceEvents'])} trace events to {out_path} "
+          f"in {time.perf_counter() - start:.1f}s — open in "
+          f"https://ui.perfetto.dev]")
     if args.metrics:
         registry = metrics_from_run(sim, tracer=run.tracer)
         registry.write_json(args.metrics)
@@ -539,7 +744,7 @@ def _verify_command(args) -> int:
         "all": " [engines: reference+fast+fast-vector]",
     }.get(args.engines, "")
     print(f"fuzzing systems: {', '.join(systems)}" + engines_note)
-    start = time.time()
+    start = time.perf_counter()
     done = {"n": 0}
 
     def progress(k, n):
@@ -551,12 +756,27 @@ def _verify_command(args) -> int:
         args.fuzz, seed=args.seed, systems=systems, progress=progress,
         engines=args.engines,
     )
-    elapsed = time.time() - start
+    elapsed = time.perf_counter() - start
     print(
         f"fuzzed {result.regions} region(s) x {len(systems)} system(s) "
         f"({result.runs} differential runs) in {elapsed:.1f}s "
         f"[seed {args.seed}]"
     )
+    if args.ledger:
+        from repro.obs import PerfLedger, capture_context, record_from_fuzz
+
+        ledger = PerfLedger(args.ledger)
+        fp = ledger.append(
+            record_from_fuzz(
+                result.regions, result.runs, len(result.failures), elapsed,
+                seed=args.seed,
+                context=capture_context(
+                    seed=args.seed, engines=args.engines,
+                    systems=",".join(systems),
+                ),
+            )
+        )
+        print(f"[ledger {ledger.path}: appended verify record {fp}]")
     if result.ok:
         print("all runs clean: golden-model match + sanitizer clean")
         return 0
@@ -593,7 +813,7 @@ def _profile_command(rest, args) -> int:
     failed: Dict[str, dict] = {}
     for name in names:
         run, _render, takes_inv = EXPERIMENTS[name]
-        start = time.time()
+        start = time.perf_counter()
         try:
             if takes_inv and args.invocations is not None:
                 run(invocations=args.invocations)
@@ -606,26 +826,31 @@ def _profile_command(rest, args) -> int:
                 f"{len(exc.outcome.failures)} task(s) exhausted retries]",
                 file=sys.stderr,
             )
-        stage_seconds[name] = time.time() - start
+        stage_seconds[name] = time.perf_counter() - start
 
+    # Every table below sorts by *name*, never by measured time or by
+    # collection order: task records arrive in worker completion order
+    # and wall times are noisy, so any time-keyed ordering shuffles from
+    # run to run and makes CI log diffs useless.
     print("per-stage wall time:")
-    for name, seconds in sorted(stage_seconds.items(), key=lambda kv: -kv[1]):
-        print(f"  {name:<14} {seconds:8.2f}s")
+    for name in sorted(stage_seconds):
+        print(f"  {name:<14} {stage_seconds[name]:8.2f}s")
     print(f"  {'total':<14} {sum(stage_seconds.values()):8.2f}s")
 
     regions = get_profile().per_region()
     if regions:
-        print("\nper-region simulation time (heaviest first):")
-        for region, (count, seconds) in list(regions.items())[:15]:
+        heaviest = max(regions.items(), key=lambda kv: kv[1][1])
+        print("\nper-region simulation time:")
+        for region in sorted(regions):
+            count, seconds = regions[region]
             print(f"  {region:<14} {seconds:8.2f}s over {count} task(s)")
-        if len(regions) > 15:
-            print(f"  ... and {len(regions) - 15} more region(s)")
+        print(f"  [heaviest: {heaviest[0]}, {heaviest[1][1]:.2f}s]")
 
     workers = profile.per_worker()
     if len(workers) > 1:
         print("\nper-worker busy time:")
-        for pid, busy in sorted(workers.items()):
-            print(f"  pid {pid:<8} {busy:8.2f}s")
+        for i, (pid, busy) in enumerate(sorted(workers.items())):
+            print(f"  worker {i:<3} {busy:8.2f}s")
         print(f"  utilization: {100.0 * profile.utilization():.0f}%")
 
     vectors = profile.vector_rollup()
@@ -634,7 +859,8 @@ def _profile_command(rest, args) -> int:
               "per-event fallback):")
         print(f"  {'region':<14} {'invocs':>7} {'replayed':>9} "
               f"{'ops vec':>9} {'ops dyn':>9}  fallbacks")
-        for region, v in vectors.items():
+        for region in sorted(vectors):
+            v = vectors[region]
             reasons = ", ".join(
                 f"{reason}={n}"
                 for reason, n in sorted(v["fallback_reasons"].items())
@@ -661,6 +887,8 @@ def _profile_command(rest, args) -> int:
 
     if args.metrics:
         _dump_metrics(args.metrics, stage_seconds)
+    if args.ledger:
+        _append_run_ledger(args.ledger, stage_seconds, jobs=args.jobs)
 
     if failed:
         report_path = args.failure_report or "nachos-failure-report.json"

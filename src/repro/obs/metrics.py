@@ -76,7 +76,14 @@ class Histogram:
         return len(self.values)
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile, ``q`` in [0, 100]."""
+        """Nearest-rank percentile, ``q`` in [0, 100].
+
+        An empty histogram reports 0.0 for every quantile (so summary
+        pipelines never special-case it); a ``q`` outside [0, 100] is a
+        caller bug and raises rather than silently clamping.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
         if not self.values:
             return 0.0
         ordered = sorted(self.values)
@@ -137,6 +144,25 @@ class MetricsRegistry:
 
     def names(self) -> List[str]:
         return sorted(self._metrics)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold *other*'s metrics into this registry, in place.
+
+        Same-named counters **sum**, gauges take *other*'s (newer)
+        value, and histograms pool their raw samples — the semantics
+        the perf-ledger builders (:mod:`repro.obs.perf`) rely on when
+        combining per-source registries into one record.  A name
+        registered with different metric kinds in the two registries is
+        a caller bug and raises ``TypeError``.
+        """
+        for name, metric in other._metrics.items():
+            if isinstance(metric, Counter):
+                self.counter(name).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                self.gauge(name).set(metric.value)
+            elif isinstance(metric, Histogram):
+                self.histogram(name).observe_many(metric.values)
+        return self
 
     def as_dict(self) -> dict:
         return {name: self._metrics[name].to_json() for name in self.names()}

@@ -171,7 +171,7 @@ class SweepProfile:
             entry[1] += t.seconds
         return {
             k: (int(v[0]), v[1])
-            for k, v in sorted(acc.items(), key=lambda kv: -kv[1][1])
+            for k, v in sorted(acc.items(), key=lambda kv: (-kv[1][1], kv[0]))
         }
 
     def utilization(self) -> float:
@@ -216,8 +216,10 @@ class SweepProfile:
             reasons = entry["fallback_reasons"]
             for reason, n in v.fallback_reasons.items():
                 reasons[reason] = reasons.get(reason, 0) + n
+        # Name-tiebreak: ``vectors`` arrives in worker completion order,
+        # so without it equal-invocation regions would shuffle run to run.
         return dict(
-            sorted(acc.items(), key=lambda kv: -kv[1]["invocations"])
+            sorted(acc.items(), key=lambda kv: (-kv[1]["invocations"], kv[0]))
         )
 
     def reset(self) -> None:

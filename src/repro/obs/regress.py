@@ -1,0 +1,223 @@
+"""Budget-driven regression checking over the perf ledger.
+
+``perf_budgets.toml`` declares, per metric series, which direction is
+"better", how much relative movement the build tolerates, how many
+samples the series needs before the check is meaningful, and an
+absolute noise floor below which movement is ignored.  ``nachos-repro
+perf check`` loads the budgets, replays the ledger, and fails (exit
+non-zero) when the latest sample regresses past any budget.
+
+The baseline is the **median of the series' history** (every sample
+before the latest, after any blessing cut) — median, not mean, so one
+noisy historical sample cannot move the bar.  A violation requires
+*both* bounds to trip:
+
+* relative: the latest sample is worse than the baseline by more than
+  ``max_regression`` (a fraction, e.g. ``0.10`` = 10%), and
+* absolute: the raw delta exceeds ``noise_floor`` (in the metric's own
+  unit), so sub-second scheduler jitter on a 5-second series can never
+  fail a build no matter how large it is relatively.
+
+Intentional regressions are **blessed**, never erased: append the
+offending record's fingerprint to ``[bless] fingerprints`` in the
+budgets file and every series' history restarts at that record.  The
+ledger itself stays append-only.
+
+See ``docs/perf.md`` for the file format and worked examples.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python < 3.11
+    tomllib = None
+
+from repro.obs.perf import PerfRecord
+
+#: Accepted ``direction`` values: is a smaller or a larger number better?
+DIRECTIONS = ("lower", "higher")
+
+OK = "ok"
+REGRESSION = "regression"
+SKIPPED = "skipped"
+
+
+@dataclass
+class Budget:
+    """One metric series' regression budget."""
+
+    metric: str
+    source: str
+    direction: str                      # "lower" | "higher"
+    max_regression: float = 0.10        # relative, vs median-of-history
+    min_samples: int = 3                # incl. the latest sample
+    noise_floor: float = 0.0            # absolute delta that must also trip
+    where: Dict[str, str] = field(default_factory=dict)  # context filter
+
+    @property
+    def key(self) -> str:
+        return f"{self.source}:{self.metric}"
+
+    def matches(self, record: PerfRecord) -> bool:
+        if record.source != self.source or self.metric not in record.metrics:
+            return False
+        return all(
+            record.context.get(k) == v for k, v in self.where.items()
+        )
+
+
+@dataclass
+class Verdict:
+    """The outcome of one budget against the ledger."""
+
+    budget: Budget
+    status: str                         # OK | REGRESSION | SKIPPED
+    reason: str = ""
+    samples: int = 0
+    baseline: Optional[float] = None    # median of history
+    latest: Optional[float] = None
+    regression: Optional[float] = None  # relative; positive = worse
+
+    @property
+    def ok(self) -> bool:
+        return self.status != REGRESSION
+
+    def describe(self) -> str:
+        head = f"{self.budget.key:<44} {self.status:<10}"
+        if self.status == SKIPPED:
+            return f"{head} {self.reason}"
+        sign = "+" if (self.regression or 0) >= 0 else ""
+        return (
+            f"{head} latest {self.latest:.4g} vs median {self.baseline:.4g} "
+            f"({sign}{100.0 * (self.regression or 0):.1f}% worse-direction, "
+            f"budget {100.0 * self.budget.max_regression:.0f}%)"
+        )
+
+
+class BudgetError(ValueError):
+    """The budgets file is malformed."""
+
+
+def load_budgets(path) -> Tuple[List[Budget], List[str]]:
+    """Parse ``perf_budgets.toml`` -> (budgets, blessed fingerprints)."""
+    if tomllib is None:
+        raise BudgetError(
+            "reading perf budgets requires Python >= 3.11 (tomllib)"
+        )
+    raw = tomllib.loads(Path(path).read_text())
+    defaults = raw.get("defaults", {})
+    budgets: List[Budget] = []
+    for entry in raw.get("budget", []):
+        try:
+            budget = Budget(
+                metric=entry["metric"],
+                source=entry["source"],
+                direction=entry["direction"],
+                max_regression=float(
+                    entry.get("max_regression",
+                              defaults.get("max_regression", 0.10))
+                ),
+                min_samples=int(
+                    entry.get("min_samples", defaults.get("min_samples", 3))
+                ),
+                noise_floor=float(
+                    entry.get("noise_floor", defaults.get("noise_floor", 0.0))
+                ),
+                where={str(k): str(v)
+                       for k, v in entry.get("where", {}).items()},
+            )
+        except KeyError as exc:
+            raise BudgetError(
+                f"budget entry missing required key {exc.args[0]!r}: {entry}"
+            ) from None
+        if budget.direction not in DIRECTIONS:
+            raise BudgetError(
+                f"budget {budget.key}: direction must be one of "
+                f"{DIRECTIONS}, got {budget.direction!r}"
+            )
+        if budget.max_regression < 0 or budget.noise_floor < 0:
+            raise BudgetError(
+                f"budget {budget.key}: thresholds must be non-negative"
+            )
+        budgets.append(budget)
+    blessed = [str(fp) for fp in raw.get("bless", {}).get("fingerprints", [])]
+    return budgets, blessed
+
+
+def series_for(
+    records: Sequence[PerfRecord], budget: Budget, blessed: Sequence[str]
+) -> List[float]:
+    """The budget's sample series, oldest first, after the blessing cut.
+
+    Blessing a fingerprint restarts history *at* that record: samples
+    before the last blessed record in the series are dropped, the
+    blessed record itself becomes the first history sample.
+    """
+    matched = [r for r in records if budget.matches(r)]
+    if blessed:
+        bless_set = set(blessed)
+        cut = 0
+        for i, record in enumerate(matched):
+            if record.fingerprint() in bless_set:
+                cut = i
+        matched = matched[cut:]
+    return [float(r.metrics[budget.metric]) for r in matched]
+
+
+def check_budget(
+    records: Sequence[PerfRecord],
+    budget: Budget,
+    blessed: Sequence[str] = (),
+) -> Verdict:
+    """Evaluate one budget: latest sample vs median of its history."""
+    series = series_for(records, budget, blessed)
+    if len(series) < max(budget.min_samples, 2):
+        return Verdict(
+            budget=budget, status=SKIPPED, samples=len(series),
+            reason=(
+                f"insufficient samples ({len(series)} < "
+                f"{max(budget.min_samples, 2)})"
+            ),
+        )
+    history, latest = series[:-1], series[-1]
+    baseline = float(statistics.median(history))
+    # Normalize so positive == moved in the *worse* direction.
+    delta = latest - baseline if budget.direction == "lower" else baseline - latest
+    regression = delta / abs(baseline) if baseline else (1.0 if delta > 0 else 0.0)
+    violated = regression > budget.max_regression and delta > budget.noise_floor
+    return Verdict(
+        budget=budget,
+        status=REGRESSION if violated else OK,
+        samples=len(series),
+        baseline=baseline,
+        latest=latest,
+        regression=regression,
+    )
+
+
+def check_ledger(
+    records: Sequence[PerfRecord],
+    budgets: Sequence[Budget],
+    blessed: Sequence[str] = (),
+) -> List[Verdict]:
+    """Evaluate every budget; verdicts come back in budget-file order."""
+    return [check_budget(records, b, blessed) for b in budgets]
+
+
+def render_verdicts(verdicts: Sequence[Verdict]) -> str:
+    """Human-readable check summary (one line per budget)."""
+    lines = [v.describe() for v in verdicts]
+    bad = sum(1 for v in verdicts if v.status == REGRESSION)
+    skipped = sum(1 for v in verdicts if v.status == SKIPPED)
+    ok = len(verdicts) - bad - skipped
+    lines.append(
+        f"[perf check: {ok} ok, {bad} regression(s), {skipped} skipped "
+        f"of {len(verdicts)} budget(s)]"
+    )
+    return "\n".join(lines)

@@ -359,6 +359,58 @@ def test_metrics_registry_primitives(tmp_path):
     assert data["h"]["count"] == 5 and data["h"]["max"] == 100.0
 
 
+def test_histogram_edge_cases():
+    reg = MetricsRegistry()
+    empty = reg.histogram("empty")
+    # Empty histograms report 0.0 at every quantile and a bare count.
+    assert empty.percentile(0) == 0.0
+    assert empty.percentile(50) == 0.0
+    assert empty.percentile(100) == 0.0
+    assert empty.summary() == {"count": 0}
+    # A single sample IS every quantile.
+    single = reg.histogram("single")
+    single.observe(7.5)
+    assert single.percentile(0) == 7.5
+    assert single.percentile(50) == 7.5
+    assert single.percentile(100) == 7.5
+    assert single.summary()["mean"] == 7.5
+    # Out-of-range quantiles are caller bugs, not clamped.
+    with pytest.raises(ValueError):
+        single.percentile(101)
+    with pytest.raises(ValueError):
+        single.percentile(-0.1)
+    with pytest.raises(ValueError):
+        empty.percentile(200)
+
+
+def test_metrics_registry_merge():
+    a = MetricsRegistry()
+    a.counter("c").inc(3)
+    a.gauge("g").set(0.25)
+    a.histogram("h").observe_many([1.0, 2.0])
+    a.counter("only_a").inc()
+    b = MetricsRegistry()
+    b.counter("c").inc(4)
+    b.gauge("g").set(0.75)
+    b.histogram("h").observe_many([3.0, 4.0])
+    b.histogram("only_b").observe(9.0)
+
+    merged = a.merge(b)
+    assert merged is a  # in place, chainable
+    assert a.counter("c").value == 7          # counters sum
+    assert a.gauge("g").value == 0.75         # gauges take the newer value
+    assert a.histogram("h").values == [1.0, 2.0, 3.0, 4.0]  # samples pool
+    assert a.counter("only_a").value == 1
+    assert a.histogram("only_b").values == [9.0]
+    # Merging never mutates the source registry.
+    assert b.counter("c").value == 4 and b.histogram("h").count == 2
+
+    clash = MetricsRegistry()
+    clash.gauge("c").set(1.0)
+    with pytest.raises(TypeError):
+        a.merge(clash)
+
+
 def test_metrics_from_run():
     tracer = Tracer()
     _, _, sim = run_traced("nachos-sw", [{"s1": 3, "s2": 3}], tracer=tracer)

@@ -13,15 +13,114 @@ unreachable clauses.  Pin the CI threshold below this script's number.
 Usage::
 
     PYTHONPATH=src python tools/approx_coverage.py [pytest args...]
+    PYTHONPATH=src python tools/approx_coverage.py --json coverage.json
+
+``--json PATH`` additionally writes the per-file / per-package / total
+numbers as machine-readable JSON, so the coverage floor feeds the
+perf-observatory run ledger (``nachos-repro perf record --coverage
+coverage.json``) instead of being grep'd out of CI logs.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from collections import defaultdict
 
 MEASURED = ("src/repro/sim", "src/repro/compiler")
+
+#: Schema of the ``--json`` summary document.
+JSON_SCHEMA = 1
+
+
+def split_args(argv):
+    """Split ``--json PATH`` out of *argv*; the rest goes to pytest."""
+    json_path = None
+    rest = []
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--json":
+            if not args:
+                raise SystemExit("--json requires a PATH argument")
+            json_path = args.pop(0)
+        elif arg.startswith("--json="):
+            json_path = arg.split("=", 1)[1]
+        else:
+            rest.append(arg)
+    return json_path, rest
+
+
+def summarize(hit, root) -> dict:
+    """Fold traced lines into the per-file/per-package/total summary."""
+    summary = {
+        "schema": JSON_SCHEMA,
+        "tool": "approx_coverage",
+        "measured": list(MEASURED),
+        "files": {},
+        "packages": {},
+        "total": {},
+    }
+    grand_hit = grand_total = 0
+    for measured in MEASURED:
+        pkg_hit = pkg_total = 0
+        base = os.path.join(root, measured)
+        for dirpath, _dirs, files in os.walk(base):
+            for name in sorted(files):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                total = executable_lines(path)
+                covered = hit.get(path, set()) & total
+                pkg_total += len(total)
+                pkg_hit += len(covered)
+                rel = os.path.relpath(path, root)
+                pct = 100.0 * len(covered) / len(total) if total else 100.0
+                summary["files"][rel] = {
+                    "lines": len(total),
+                    "hit": len(covered),
+                    "pct": round(pct, 2),
+                }
+        grand_hit += pkg_hit
+        grand_total += pkg_total
+        pct = 100.0 * pkg_hit / pkg_total if pkg_total else 100.0
+        summary["packages"][measured] = {
+            "lines": pkg_total,
+            "hit": pkg_hit,
+            "pct": round(pct, 2),
+        }
+    pct = 100.0 * grand_hit / grand_total if grand_total else 100.0
+    summary["total"] = {
+        "lines": grand_total,
+        "hit": grand_hit,
+        "pct": round(pct, 2),
+    }
+    return summary
+
+
+def render(summary) -> str:
+    """The classic text table, from a :func:`summarize` document."""
+    lines = [f"\n{'file':<58} {'lines':>6} {'hit':>6} {'cov':>6}"]
+    for measured in summary["measured"]:
+        for rel, entry in summary["files"].items():
+            if not rel.startswith(measured + os.sep):
+                continue
+            lines.append(
+                f"{rel:<58} {entry['lines']:>6} {entry['hit']:>6} "
+                f"{entry['pct']:>5.1f}%"
+            )
+        pkg = summary["packages"][measured]
+        lines.append(
+            f"{measured:<58} {pkg['lines']:>6} {pkg['hit']:>6} "
+            f"{pkg['pct']:>5.1f}%  <- package"
+        )
+    total = summary["total"]
+    lines.append(
+        f"{'TOTAL':<58} {total['lines']:>6} {total['hit']:>6} "
+        f"{total['pct']:>5.1f}%"
+    )
+    return "\n".join(lines)
 
 
 def executable_lines(path: str) -> set:
@@ -40,6 +139,7 @@ def executable_lines(path: str) -> set:
 def main(argv) -> int:
     import pytest
 
+    json_path, pytest_args = split_args(argv)
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     prefixes = tuple(os.path.join(root, m) + os.sep for m in MEASURED)
     hit = defaultdict(set)
@@ -61,36 +161,20 @@ def main(argv) -> int:
 
     sys.settrace(tracer)
     try:
-        rc = pytest.main(["-q", "-p", "no:cacheprovider"] + list(argv))
+        rc = pytest.main(["-q", "-p", "no:cacheprovider"] + pytest_args)
     finally:
         sys.settrace(None)
     if rc != 0:
         print(f"pytest failed (exit {rc}); coverage numbers not meaningful")
         return rc
 
-    grand_hit = grand_total = 0
-    print(f"\n{'file':<58} {'lines':>6} {'hit':>6} {'cov':>6}")
-    for measured in MEASURED:
-        pkg_hit = pkg_total = 0
-        base = os.path.join(root, measured)
-        for dirpath, _dirs, files in os.walk(base):
-            for name in sorted(files):
-                if not name.endswith(".py"):
-                    continue
-                path = os.path.join(dirpath, name)
-                total = executable_lines(path)
-                covered = hit.get(path, set()) & total
-                pkg_total += len(total)
-                pkg_hit += len(covered)
-                rel = os.path.relpath(path, root)
-                pct = 100.0 * len(covered) / len(total) if total else 100.0
-                print(f"{rel:<58} {len(total):>6} {len(covered):>6} {pct:>5.1f}%")
-        grand_hit += pkg_hit
-        grand_total += pkg_total
-        pct = 100.0 * pkg_hit / pkg_total if pkg_total else 100.0
-        print(f"{measured:<58} {pkg_total:>6} {pkg_hit:>6} {pct:>5.1f}%  <- package")
-    pct = 100.0 * grand_hit / grand_total if grand_total else 100.0
-    print(f"{'TOTAL':<58} {grand_total:>6} {grand_hit:>6} {pct:>5.1f}%")
+    summary = summarize(hit, root)
+    print(render(summary))
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[wrote {json_path}]")
     return 0
 
 
