@@ -122,6 +122,14 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable, bool]] = {
 
 
 def main(argv=None) -> int:
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "serve":
+        # The daemon owns its own flag set (--port/--socket/...); hand
+        # off before this parser can reject them.
+        from repro.serve.daemon import main as serve_main
+
+        return serve_main(raw[1:])
+
     parser = argparse.ArgumentParser(
         prog="nachos-repro",
         description="Regenerate the tables and figures of the NACHOS paper (HPCA'18).",
@@ -255,6 +263,13 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="for 'perf record': fold an approx_coverage --json summary "
         "into the ledger",
+    )
+    parser.add_argument(
+        "--serve",
+        default=None,
+        metavar="PATH",
+        help="for 'perf record': fold a bench_serve report (BENCH_serve"
+        ".json) into the ledger",
     )
     parser.add_argument(
         "--html",
@@ -534,6 +549,7 @@ def _perf_command(rest, args) -> int:
         load_budgets,
         record_from_bench,
         record_from_coverage,
+        record_from_serve,
         render_html,
         render_markdown,
         render_verdicts,
@@ -544,10 +560,11 @@ def _perf_command(rest, args) -> int:
     ledger = _resolve_ledger(args)
 
     if action == "record":
-        if not args.bench and not args.coverage:
+        if not args.bench and not args.coverage and not args.serve:
             print(
                 "usage: nachos-repro perf record (--bench BENCH_sweep.json "
-                "| --coverage coverage.json) [--ledger PATH]",
+                "| --coverage coverage.json | --serve BENCH_serve.json) "
+                "[--ledger PATH]",
                 file=sys.stderr,
             )
             return 2
@@ -560,6 +577,9 @@ def _perf_command(rest, args) -> int:
             appended.append(
                 ("coverage", ledger.append(record_from_coverage(summary)))
             )
+        if args.serve:
+            report = json.loads(Path(args.serve).read_text())
+            appended.append(("serve", ledger.append(record_from_serve(report))))
         for source, fp in appended:
             print(f"[ledger {ledger.path}: appended {source} record {fp}]")
         return 0

@@ -400,3 +400,33 @@ def record_from_registries(
                 metrics[f"{name}.{key}"] = float(value)
     ctx = context if context is not None else capture_context()
     return PerfRecord(source=source, metrics=metrics, context=ctx)
+
+
+def record_from_serve(
+    report: Mapping[str, Any], context: Optional[Dict[str, str]] = None
+) -> PerfRecord:
+    """Fold a ``bench_serve.py`` report (``BENCH_serve.json``) into a record.
+
+    Carries request latency percentiles, sustained QPS, the cache hit
+    rate and request/task dedup rates, plus the daemon-side counters the
+    load generator scraped from ``/metrics`` (``daemon.<name>``).
+    """
+    metrics: Dict[str, float] = {}
+    for key in (
+        "requests", "concurrency", "wall_seconds", "qps",
+        "p50_latency_seconds", "p90_latency_seconds", "p99_latency_seconds",
+        "mean_latency_seconds", "cache_hit_rate", "dedup_rate", "errors",
+        "chaos_wall_seconds", "chaos_retries",
+    ):
+        value = report.get(key)
+        if value is not None:
+            metrics[key] = float(value)
+    for name, value in (report.get("daemon") or {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            metrics[f"daemon.{name}"] = float(value)
+    ctx = context if context is not None else capture_context(
+        engine=report.get("engine") or "reference",
+        jobs=report.get("jobs"),
+        mode=report.get("mode"),
+    )
+    return PerfRecord(source="serve", metrics=metrics, context=ctx)

@@ -26,10 +26,80 @@ import pickle
 import shutil
 import tempfile
 import threading
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 _MISS = object()
+
+#: mkstemp prefix for in-flight writes.  The writer's pid is encoded in
+#: the name so a stale-tmp sweep can tell an orphan (writer dead — e.g.
+#: a worker SIGKILLed mid-put) from a concurrent writer's live file.
+_TMP_PREFIX = ".put-"
+
+#: Age past which a tmp file is swept even when its writer pid cannot
+#: be checked (unparsable legacy name, or pid recycled to an unrelated
+#: process).  No healthy put holds a tmp open for anywhere near this.
+TMP_MAX_AGE_SECONDS = 3600.0
+
+
+def _tmp_prefix() -> str:
+    return f"{_TMP_PREFIX}{os.getpid()}-"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # e.g. EPERM: some process owns the pid
+    return True
+
+
+def _tmp_writer_pid(name: str) -> Optional[int]:
+    """The writer pid encoded in a tmp filename, or ``None``."""
+    if not name.startswith(_TMP_PREFIX):
+        return None
+    pid_part = name[len(_TMP_PREFIX):].partition("-")[0]
+    try:
+        return int(pid_part)
+    except ValueError:
+        return None
+
+
+def sweep_stale_tmp(
+    root: Path, max_age_seconds: float = TMP_MAX_AGE_SECONDS
+) -> int:
+    """Remove orphaned ``*.tmp`` files under *root*; return the count.
+
+    A tmp file is an orphan when its writer process is gone (a crash or
+    SIGKILL between ``mkstemp`` and the cleanup path) or when it is
+    older than *max_age_seconds* (covers unparsable names and recycled
+    pids).  Live writers — our own in-flight puts included — are left
+    alone.  Best-effort on every syscall: a racing unlink is fine.
+    """
+    removed = 0
+    root = Path(root)
+    if not root.is_dir():
+        return 0
+    now = time.time()
+    for path in root.rglob("*.tmp"):
+        pid = _tmp_writer_pid(path.name)
+        stale = pid is not None and not _pid_alive(pid)
+        if not stale:
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue
+            stale = age > max_age_seconds
+        if stale:
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+    return removed
 
 
 def default_cache_dir() -> Path:
@@ -86,21 +156,32 @@ class ResultCache:
         """Store *value* crash-consistently: tmp + fsync + rename, so a
         process killed mid-put leaves either the complete entry or none
         (a later :meth:`get` of a partial file reads as a miss either
-        way)."""
+        way).
+
+        An unpicklable *value* (``PicklingError``, or ``TypeError`` for
+        e.g. generators/locks) demotes to "not cached" — the cache is
+        best-effort — and the tmp file is unlinked in a ``finally`` so
+        no failure mode can leak it; only a kill between ``mkstemp``
+        and that unlink can, which :func:`sweep_stale_tmp` reclaims.
+        """
         if not self.enabled:
             return
         path = self._object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=_tmp_prefix(), suffix=".tmp"
+        )
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)
-        except OSError:
+        except (OSError, pickle.PicklingError, TypeError, AttributeError):
+            pass
+        finally:
             try:
-                os.unlink(tmp)
+                os.unlink(tmp)  # already gone on the success path
             except OSError:
                 pass
 
@@ -136,17 +217,26 @@ class ResultCache:
             self.misses = 0
         if not self.enabled or (hits == 0 and misses == 0):
             return
+        tmp = None
         try:
             persisted = self._read_stats_file()
             persisted["hits"] += hits
             persisted["misses"] += misses
             self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.root), prefix=_tmp_prefix(), suffix=".tmp"
+            )
             with os.fdopen(fd, "w") as fh:
                 json.dump(persisted, fh)
             os.replace(tmp, self._stats_path)
         except OSError:
             pass  # stats are best-effort; never fail a run over them
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     def _read_stats_file(self) -> Dict[str, int]:
         try:
@@ -156,24 +246,43 @@ class ResultCache:
         except (OSError, ValueError):
             return {"hits": 0, "misses": 0}
 
+    def sweep_stale(
+        self, max_age_seconds: float = TMP_MAX_AGE_SECONDS
+    ) -> int:
+        """Reclaim orphaned in-flight ``*.tmp`` files (see
+        :func:`sweep_stale_tmp`); returns how many were removed."""
+        return sweep_stale_tmp(self.root, max_age_seconds)
+
     def stats(self) -> Dict[str, Any]:
-        """Entry count, on-disk bytes, and cumulative hit/miss counters."""
+        """Entry count, on-disk bytes, and cumulative hit/miss counters.
+
+        Also sweeps orphaned ``*.tmp`` files (writers killed mid-put)
+        and reports how many were reclaimed / are still in flight.
+        """
+        swept = self.sweep_stale()
         entries = 0
         size = 0
+        tmp_in_flight = 0
         objects = self.root / "objects"
         if objects.is_dir():
-            for path in objects.rglob("*.pkl"):
-                entries += 1
-                try:
-                    size += path.stat().st_size
-                except OSError:
-                    pass
+            for path in objects.rglob("*"):
+                name = path.name
+                if name.endswith(".pkl"):
+                    entries += 1
+                    try:
+                        size += path.stat().st_size
+                    except OSError:
+                        pass
+                elif name.endswith(".tmp"):
+                    tmp_in_flight += 1
         persisted = self._read_stats_file()
         return {
             "root": str(self.root),
             "enabled": self.enabled,
             "entries": entries,
             "bytes": size,
+            "stale_tmp_removed": swept,
+            "tmp_in_flight": tmp_in_flight,
             "hits": persisted["hits"] + self.hits,
             "misses": persisted["misses"] + self.misses,
             "session_hits": self.hits,
@@ -181,12 +290,21 @@ class ResultCache:
         }
 
     def clear(self) -> int:
-        """Delete every cached object (and the counters); return count."""
+        """Delete every cached object (and the counters); return count.
+
+        Counts and removes leftover ``*.tmp`` files too — a cleared
+        cache directory holds nothing, not even crash debris.
+        """
         removed = 0
         objects = self.root / "objects"
         if objects.is_dir():
-            removed = sum(1 for _ in objects.rglob("*.pkl"))
+            removed = sum(
+                1
+                for p in objects.rglob("*")
+                if p.name.endswith((".pkl", ".tmp"))
+            )
             shutil.rmtree(objects, ignore_errors=True)
+        removed += sweep_stale_tmp(self.root, max_age_seconds=0.0)
         try:
             self._stats_path.unlink()
         except OSError:

@@ -30,7 +30,9 @@ import pickle
 import shutil
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.cache import TMP_MAX_AGE_SECONDS, _tmp_prefix, sweep_stale_tmp
 
 CHECKPOINT_SCHEMA = 1
 
@@ -72,10 +74,19 @@ class SweepCheckpoint:
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Atomically journal one completed task (tmp + fsync + rename)."""
+        """Atomically journal one completed task (tmp + fsync + rename).
+
+        An unpicklable *value* demotes to "not journaled" (the result
+        is merely recomputed on resume), and the tmp file is unlinked
+        in a ``finally`` so no failure mode leaks it; a kill between
+        ``mkstemp`` and that unlink is reclaimed by
+        :meth:`sweep_stale`.
+        """
         path = self._task_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=_tmp_prefix(), suffix=".tmp"
+        )
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
@@ -83,9 +94,11 @@ class SweepCheckpoint:
                 os.fsync(fh.fileno())
             os.replace(tmp, path)
             self.stores += 1
-        except OSError:
+        except (OSError, pickle.PicklingError, TypeError, AttributeError):
+            pass
+        finally:
             try:
-                os.unlink(tmp)
+                os.unlink(tmp)  # already gone on the success path
             except OSError:
                 pass
 
@@ -114,16 +127,29 @@ class SweepCheckpoint:
 
     # -- manifest --------------------------------------------------------
     def write_manifest(self, meta: Dict[str, Any]) -> None:
+        """Atomically write the run manifest (tmp + **fsync** + rename).
+
+        The fsync matters: without it, a power loss shortly after the
+        rename can land the rename on disk before the data blocks,
+        leaving a valid-looking but empty ``manifest.json``.  Same
+        discipline as :meth:`put`.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         payload = {"schema": CHECKPOINT_SCHEMA, **meta}
-        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.root), prefix=_tmp_prefix(), suffix=".tmp"
+        )
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, self.root / "manifest.json")
-        except OSError:
+        except (OSError, TypeError, ValueError):
+            pass  # unserializable meta / IO error: keep the old manifest
+        finally:
             try:
-                os.unlink(tmp)
+                os.unlink(tmp)  # already gone on the success path
             except OSError:
                 pass
 
@@ -140,6 +166,13 @@ class SweepCheckpoint:
             return 0
         return sum(1 for _ in tasks.rglob("*.pkl"))
 
+    def sweep_stale(
+        self, max_age_seconds: float = TMP_MAX_AGE_SECONDS
+    ) -> int:
+        """Reclaim orphaned in-flight ``*.tmp`` files (writers killed
+        mid-put); returns how many were removed."""
+        return sweep_stale_tmp(self.root, max_age_seconds)
+
     def clear(self) -> None:
         shutil.rmtree(self.root, ignore_errors=True)
 
@@ -149,21 +182,35 @@ class SweepCheckpoint:
 # ----------------------------------------------------------------------
 _active: Optional[SweepCheckpoint] = None
 _configured = False
+#: Memoized env-built instance, keyed by the raw env value, so repeated
+#: ``get_checkpoint()`` calls under ``NACHOS_CHECKPOINT_DIR`` share one
+#: object and its ``hits``/``stores`` counters accumulate instead of
+#: resetting on every call (the profile/metrics telemetry reads them).
+_env_instance: Optional[Tuple[str, SweepCheckpoint]] = None
 
 
 def configure_checkpoint(root: Optional[Path]) -> Optional[SweepCheckpoint]:
     """Install (or with ``None``, remove) the process-wide checkpoint."""
-    global _active, _configured
+    global _active, _configured, _env_instance
     _active = SweepCheckpoint(root) if root is not None else None
     _configured = True
+    _env_instance = None
     return _active
 
 
 def get_checkpoint() -> Optional[SweepCheckpoint]:
-    """The active checkpoint: the configured one, else ``NACHOS_CHECKPOINT_DIR``."""
+    """The active checkpoint: the configured one, else ``NACHOS_CHECKPOINT_DIR``.
+
+    The env-built instance is cached (and invalidated when the env var
+    changes), so its telemetry counters survive across calls.
+    """
+    global _env_instance
     if _configured:
         return _active
     env = os.environ.get("NACHOS_CHECKPOINT_DIR", "")
-    if env:
-        return SweepCheckpoint(Path(env).expanduser())
-    return None
+    if not env:
+        _env_instance = None
+        return None
+    if _env_instance is None or _env_instance[0] != env:
+        _env_instance = (env, SweepCheckpoint(Path(env).expanduser()))
+    return _env_instance[1]

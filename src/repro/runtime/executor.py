@@ -316,6 +316,13 @@ class _Supervision:
         self.policy = policy
         self.checkpoint = checkpoint
         self.profile = get_profile()
+        # Reclaim tmp debris from earlier runs killed mid-put (ours or a
+        # previous process's); live writers are spared by pid check.
+        from repro.runtime.cache import get_cache
+
+        get_cache().sweep_stale()
+        if checkpoint is not None:
+            checkpoint.sweep_stale()
         self.sched = RetryScheduler(len(tasks), policy)
         self.results: List[Optional[Any]] = [None] * len(tasks)
         self.failures: List[TaskFailure] = []

@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` — boot the daemon (same as ``nachos-serve``)."""
+
+from repro.serve.daemon import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,599 @@
+"""``nachos-serve`` — the long-running disambiguation service.
+
+An asyncio daemon that keeps the whole stack hot — workload graphs,
+compile results, the content-addressed result cache, and the supervised
+worker pool — so a disambiguation query costs a cache lookup or one
+pooled simulation instead of a full process startup + compile.
+
+Endpoints (JSON over HTTP/1.1, TCP or a unix socket):
+
+=======================  ==============================================
+``POST /submit``         submit a request (see
+                         :mod:`repro.serve.protocol`); returns
+                         ``{"request_id", "status", "deduped"}``.  With
+                         ``"wait": true`` the response long-polls until
+                         the request finishes and carries the payload.
+``GET /poll?id=FP``      ``{"request_id", "status"}`` — status is
+                         ``running``, ``done``, or ``failed``
+``GET /result?id=FP``    the result payload (``202`` while running,
+                         ``404`` for unknown/evicted ids)
+``GET /metrics``         the request-metrics registry + read-through
+                         cache counters, JSON
+``GET /healthz``         liveness + uptime
+``POST /shutdown``       graceful stop (the bench/CI harnesses use it)
+=======================  ==============================================
+
+Dedup happens twice: identical *requests* attach to the retained
+request record, and identical *(region, system)* tasks across different
+requests attach in-flight inside the :class:`~repro.serve.batcher.Batcher`.
+Completed results are served read-through from the shared
+:class:`~repro.runtime.cache.ResultCache`, so even a daemon restart
+answers repeat queries from disk.
+
+The fault story is the PR-4 runtime's, unchanged: worker crashes,
+hangs, and corrupt results retry with deterministic backoff
+(``--timeout`` / ``--max-retries``), and a ``NACHOS_CHAOS`` spec in the
+daemon's environment is inherited by pool workers — a chaos campaign
+against a live daemon must return results byte-identical to a
+fault-free one (``benchmarks/bench_serve.py --chaos`` enforces it).
+Do not use the chaos ``abort@`` point with the daemon: it SIGKILLs the
+supervisor, i.e. the daemon itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs
+
+from repro.obs.metrics import MetricsRegistry, metrics_from_cache
+from repro.serve.batcher import Batcher, ServeTaskError
+from repro.serve.protocol import (
+    SERVE_SCHEMA,
+    ProtocolError,
+    ServeRequest,
+    parse_request,
+    run_payload,
+    workload_for,
+)
+
+#: Ceiling on ``"wait": true`` long-polls, so a stuck request cannot pin
+#: a connection forever (the client can always re-poll).
+MAX_WAIT_SECONDS = 300.0
+
+_MAX_BODY_BYTES = 1 << 20
+_READ_TIMEOUT = 30.0
+
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class _RequestRecord:
+    request: ServeRequest
+    status: str = RUNNING
+    payload: Optional[Dict[str, Any]] = None
+    created: float = field(default_factory=time.perf_counter)
+    event: asyncio.Event = field(default_factory=asyncio.Event)
+
+
+class NachosServeDaemon:
+    """The serve daemon: HTTP front, batcher back, metrics throughout."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8737,
+        socket_path: Optional[str] = None,
+        jobs: Optional[int] = None,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        batch_window: float = 0.01,
+        max_batch: int = 32,
+        retain_results: int = 1024,
+        ledger: Optional[str] = None,
+        quiet: bool = False,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.jobs = jobs
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.retain_results = max(1, retain_results)
+        self.ledger = ledger
+        self.quiet = quiet
+        self.policy = self._resolve_policy(timeout, max_retries)
+        self.metrics = MetricsRegistry()
+        self.requests: "OrderedDict[str, _RequestRecord]" = OrderedDict()
+        self.batcher: Optional[Batcher] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._started_monotonic = 0.0
+
+    @staticmethod
+    def _resolve_policy(timeout, max_retries):
+        from repro.runtime.executor import get_policy
+
+        policy = get_policy()
+        if timeout is None and max_retries is None:
+            return policy
+        import dataclasses
+
+        return dataclasses.replace(
+            policy,
+            timeout=(timeout if timeout and timeout > 0 else None)
+            if timeout is not None else policy.timeout,
+            max_retries=max(0, max_retries)
+            if max_retries is not None else policy.max_retries,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        from repro.runtime.cache import get_cache
+        from repro.runtime.checkpoint import get_checkpoint
+
+        # Reclaim crash debris (tmp files from previously killed
+        # writers) before taking traffic — the durability layer is hot
+        # 24/7 under this daemon, so boot is the natural sweep point.
+        get_cache().sweep_stale()
+        checkpoint = get_checkpoint()
+        if checkpoint is not None:
+            checkpoint.sweep_stale()
+
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self.batcher = Batcher(
+            jobs=self.jobs,
+            policy=self.policy,
+            batch_window=self.batch_window,
+            max_batch=self.max_batch,
+        )
+        await self.batcher.start()
+        if self.socket_path:
+            self._server = await asyncio.start_unix_server(
+                self._client_connected, path=self.socket_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._client_connected, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        self._started_monotonic = time.monotonic()
+        if not self.quiet:
+            print(f"[nachos-serve] listening on {self.address}", flush=True)
+
+    @property
+    def address(self) -> str:
+        if self.socket_path:
+            return f"unix:{self.socket_path}"
+        return f"http://{self.host}:{self.port}"
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.batcher is not None:
+            await self.batcher.stop()
+        if self.socket_path:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        if self.ledger:
+            self._append_ledger()
+
+    async def serve_forever(self, ready: Optional[threading.Event] = None) -> None:
+        await self.start()
+        if ready is not None:
+            ready.set()
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self.stop()
+
+    def run(self, ready: Optional[threading.Event] = None) -> None:
+        asyncio.run(self.serve_forever(ready))
+
+    def request_shutdown(self) -> None:
+        """Thread-safe graceful stop (tests and signal handlers)."""
+        loop, event = self._loop, self._stop_event
+        if loop is not None and event is not None:
+            loop.call_soon_threadsafe(event.set)
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Boot the daemon on a background thread; returns once listening."""
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=self.run, args=(ready,), name="nachos-serve", daemon=True
+        )
+        thread.start()
+        if not ready.wait(timeout=60):
+            raise RuntimeError("nachos-serve daemon failed to start")
+        return thread
+
+    # -- request execution ---------------------------------------------
+    async def _run_request(self, record: _RequestRecord) -> None:
+        assert self.batcher is not None
+        req = record.request
+        from repro.runtime.executor import SimTask
+
+        workload = workload_for(req.region)
+        kwargs = req.task_kwargs()
+        started = time.perf_counter()
+        coros = [
+            self.batcher.submit(
+                fp,
+                SimTask(
+                    workload=workload,
+                    system=system,
+                    invocations=req.invocations,
+                    check=req.check,
+                    warm=req.warm,
+                    kwargs=kwargs,
+                ),
+            )
+            for system, fp in zip(req.systems, req.task_fps)
+        ]
+        runs = await asyncio.gather(*coros, return_exceptions=True)
+        results: Dict[str, Any] = {}
+        failed: Dict[str, Any] = {}
+        for system, run in zip(req.systems, runs):
+            if isinstance(run, ServeTaskError):
+                failed[system] = run.failure
+            elif isinstance(run, BaseException):
+                failed[system] = {"kind": "error", "message": str(run)}
+            else:
+                results[system] = run_payload(run)
+        elapsed = time.perf_counter() - started
+        record.status = FAILED if failed else DONE
+        record.payload = {
+            "schema": SERVE_SCHEMA,
+            "request_id": req.request_id,
+            "status": record.status,
+            "region": req.region,
+            "invocations": req.invocations,
+            "engine": req.engine,
+            "results": results,
+            "failed": failed,
+            "elapsed_seconds": elapsed,
+        }
+        self.metrics.histogram("serve.request_latency_seconds").observe(elapsed)
+        self.metrics.counter(
+            "serve.requests_failed" if failed else "serve.requests_done"
+        ).inc()
+        record.event.set()
+
+    def _retain(self, request_id: str, record: _RequestRecord) -> None:
+        self.requests[request_id] = record
+        while len(self.requests) > self.retain_results:
+            for key, old in self.requests.items():
+                if old.status != RUNNING:
+                    del self.requests[key]
+                    break
+            else:
+                break  # everything is running; nothing evictable
+
+    # -- HTTP front -----------------------------------------------------
+    async def _client_connected(self, reader, writer) -> None:
+        try:
+            status, payload = await self._handle_one(reader)
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+        ):
+            writer.close()
+            return
+        except ProtocolError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # never let a handler kill the daemon
+            self.metrics.counter("serve.internal_errors").inc()
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 405: "Method Not Allowed",
+                  500: "Internal Server Error"}.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except OSError:
+                pass
+
+    async def _handle_one(self, reader) -> Tuple[int, Dict[str, Any]]:
+        line = await asyncio.wait_for(reader.readline(), _READ_TIMEOUT)
+        if not line:
+            raise ConnectionError("empty request")
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise ProtocolError("malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await asyncio.wait_for(reader.readline(), _READ_TIMEOUT)
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = raw.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise ProtocolError("bad Content-Length")
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise ProtocolError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        path, _, query = target.partition("?")
+        params = {k: v[-1] for k, v in parse_qs(query).items()}
+        return await self._route(method.upper(), path, params, body)
+
+    async def _route(
+        self, method: str, path: str, params: Dict[str, str], body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        if path == "/submit":
+            if method != "POST":
+                return 405, {"error": "POST /submit"}
+            return await self._handle_submit(body)
+        if path == "/poll":
+            return self._handle_poll(params)
+        if path == "/result":
+            return self._handle_result(params)
+        if path == "/metrics":
+            return 200, self.metrics_snapshot()
+        if path == "/healthz":
+            return 200, {
+                "ok": True,
+                "schema": SERVE_SCHEMA,
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
+            }
+        if path == "/shutdown":
+            if method != "POST":
+                return 405, {"error": "POST /shutdown"}
+            assert self._stop_event is not None
+            self._stop_event.set()
+            return 200, {"ok": True, "stopping": True}
+        return 404, {"error": f"unknown endpoint {path}"}
+
+    async def _handle_submit(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError):
+            raise ProtocolError("request body is not valid JSON")
+        request = parse_request(payload)
+        self.metrics.counter("serve.requests").inc()
+
+        record = self.requests.get(request.request_id)
+        deduped = record is not None and record.status != FAILED
+        if deduped:
+            # Attach: the running/done record answers for this submit
+            # too.  (Done records are the retained-result fast path.)
+            self.requests.move_to_end(request.request_id)
+            self.metrics.counter("serve.requests_deduped").inc()
+        else:
+            record = _RequestRecord(request=request)
+            self._retain(request.request_id, record)
+            asyncio.get_running_loop().create_task(self._run_request(record))
+
+        if payload.get("wait"):
+            wait_timeout = min(
+                float(payload.get("wait_timeout", MAX_WAIT_SECONDS)),
+                MAX_WAIT_SECONDS,
+            )
+            try:
+                await asyncio.wait_for(record.event.wait(), wait_timeout)
+            except asyncio.TimeoutError:
+                pass
+        if record.status != RUNNING and record.payload is not None:
+            response = dict(record.payload)
+            response["deduped"] = deduped
+            return 200, response
+        return 202, {
+            "schema": SERVE_SCHEMA,
+            "request_id": request.request_id,
+            "status": record.status,
+            "deduped": deduped,
+        }
+
+    def _record_for(self, params: Dict[str, str]) -> Optional[_RequestRecord]:
+        request_id = params.get("id", "")
+        if not request_id:
+            raise ProtocolError("missing ?id=<request_id>")
+        return self.requests.get(request_id)
+
+    def _handle_poll(self, params) -> Tuple[int, Dict[str, Any]]:
+        record = self._record_for(params)
+        if record is None:
+            return 404, {"error": "unknown request id"}
+        return 200, {
+            "request_id": record.request.request_id,
+            "status": record.status,
+            "age_seconds": time.perf_counter() - record.created,
+        }
+
+    def _handle_result(self, params) -> Tuple[int, Dict[str, Any]]:
+        record = self._record_for(params)
+        if record is None:
+            return 404, {"error": "unknown request id"}
+        if record.status == RUNNING or record.payload is None:
+            return 202, {
+                "request_id": record.request.request_id,
+                "status": record.status,
+            }
+        self.metrics.counter("serve.results_served").inc()
+        return 200, record.payload
+
+    # -- telemetry ------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One JSON view: request metrics, batcher counters, cache
+        read-through counters, and liveness gauges."""
+        snap = MetricsRegistry()
+        snap.merge(self.metrics)
+        if self.batcher is not None:
+            stats = self.batcher.stats
+            snap.counter("serve.tasks_submitted").inc(stats.tasks_submitted)
+            snap.counter("serve.tasks_deduped").inc(stats.tasks_deduped)
+            snap.counter("serve.tasks_failed").inc(stats.tasks_failed)
+            snap.counter("serve.batches").inc(stats.batches)
+            snap.counter("serve.pool_retries").inc(stats.retries)
+            snap.counter("serve.checkpoint_hits").inc(stats.checkpoint_hits)
+            snap.histogram("serve.batch_size").observe_many(stats.batch_sizes)
+            snap.gauge("serve.inflight_tasks").set(self.batcher.inflight)
+        metrics_from_cache(registry=snap, prefix="cache")
+        snap.gauge("serve.retained_requests").set(len(self.requests))
+        snap.gauge("serve.uptime_seconds").set(
+            time.monotonic() - self._started_monotonic
+        )
+        return snap.as_dict()
+
+    def _append_ledger(self) -> None:
+        from repro.obs.perf import PerfLedger, PerfRecord, capture_context
+
+        snapshot = self.metrics_snapshot()
+        metrics: Dict[str, float] = {}
+        for name, entry in snapshot.items():
+            if entry["type"] in ("counter", "gauge"):
+                metrics[name] = float(entry["value"])
+            else:
+                for key, value in entry.items():
+                    if key != "type":
+                        metrics[f"{name}.{key}"] = float(value)
+        context = capture_context(
+            engine=os.environ.get("NACHOS_ENGINE", "reference"),
+            jobs=self.jobs,
+            mode="daemon",
+        )
+        ledger = PerfLedger(self.ledger)
+        fp = ledger.append(
+            PerfRecord(source="serve-daemon", metrics=metrics, context=context)
+        )
+        if not self.quiet:
+            print(f"[nachos-serve] ledger {ledger.path}: appended {fp}",
+                  flush=True)
+
+
+# ----------------------------------------------------------------------
+# CLI entry point (`nachos-serve`, also `nachos-repro serve ...`)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="nachos-serve",
+        description="Long-running NACHOS disambiguation service "
+        "(submit/poll/result over HTTP or a unix socket).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8737,
+        help="TCP port (0 = ephemeral; the chosen port is announced and "
+        "written to --ready-file)",
+    )
+    parser.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve on a unix domain socket instead of TCP",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker-pool width per batch (default $NACHOS_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock budget (default $NACHOS_TIMEOUT or off)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="bounded retries per task (default $NACHOS_MAX_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--engine", choices=["reference", "fast", "fast-vector"], default=None,
+        help="default engine mode (exported as $NACHOS_ENGINE so pool "
+        "workers inherit it; per-request 'engine' overrides)",
+    )
+    parser.add_argument(
+        "--batch-window", type=float, default=0.01, metavar="SECONDS",
+        help="micro-batching window: how long submissions accumulate "
+        "before one pool dispatch (default 0.01)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=32,
+        help="max tasks per pool dispatch (default 32)",
+    )
+    parser.add_argument(
+        "--retain", type=int, default=1024, metavar="N",
+        help="completed request payloads kept for /result (LRU, default 1024)",
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append a serve-daemon telemetry record to this perf ledger "
+        "on graceful shutdown",
+    )
+    parser.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write {pid, host, port, socket} JSON here once listening "
+        "(harness handshake)",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.engine is not None:
+        os.environ["NACHOS_ENGINE"] = args.engine
+
+    daemon = NachosServeDaemon(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        retain_results=args.retain,
+        ledger=args.ledger,
+        quiet=args.quiet,
+    )
+
+    async def _serve() -> None:
+        await daemon.start()
+        if args.ready_file:
+            ready = {
+                "pid": os.getpid(),
+                "host": daemon.host,
+                "port": daemon.port,
+                "socket": daemon.socket_path,
+                "address": daemon.address,
+            }
+            with open(args.ready_file, "w") as fh:
+                json.dump(ready, fh)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, daemon._stop_event.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await daemon._stop_event.wait()
+        await daemon.stop()
+
+    asyncio.run(_serve())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,286 @@
+"""Durability-layer regression tests: tmp-file leaks, manifest fsync,
+env-checkpoint telemetry.
+
+The crash harness here is real: a forked child is SIGKILLed *inside*
+``pickle.dump`` while holding an in-flight ``*.tmp`` file, repeatedly,
+and the sweep must reclaim every orphan while sparing live writers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.cache import (
+    ResultCache,
+    TMP_MAX_AGE_SECONDS,
+    _tmp_prefix,
+    sweep_stale_tmp,
+)
+from repro.runtime.checkpoint import SweepCheckpoint
+
+
+class _BlocksInsidePickle:
+    """Pickling this object signals a flag file, then hangs.
+
+    ``ResultCache.put`` has already created its ``*.tmp`` by the time
+    ``pickle.dump`` runs ``__reduce__``, so a SIGKILL delivered after
+    the flag appears lands exactly in the crash window the sweep exists
+    for: tmp on disk, writer about to die, no cleanup path runs.
+    """
+
+    def __init__(self, flag_path: str) -> None:
+        self.flag_path = flag_path
+
+    def __reduce__(self):
+        Path(self.flag_path).touch()
+        time.sleep(60)
+        return (dict, ())  # never reached
+
+
+def _kill_victim_cache(root: str, flag: str) -> None:
+    cache = ResultCache(root=Path(root), enabled=True)
+    cache.put("aa" + "0" * 62, _BlocksInsidePickle(flag))
+
+
+def _kill_victim_checkpoint(root: str, flag: str) -> None:
+    cp = SweepCheckpoint(Path(root))
+    cp.put("bb" + "1" * 62, _BlocksInsidePickle(flag))
+
+
+def _run_and_kill(target, root: Path, tmp_path: Path, tag: str) -> None:
+    ctx = multiprocessing.get_context("fork")
+    flag = tmp_path / f"flag-{tag}"
+    proc = ctx.Process(target=target, args=(str(root), str(flag)))
+    proc.start()
+    deadline = time.monotonic() + 30
+    while not flag.exists():
+        assert time.monotonic() < deadline, "victim never reached pickle"
+        assert proc.is_alive(), "victim died before reaching pickle"
+        time.sleep(0.005)
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join(timeout=30)
+
+
+@pytest.mark.parametrize(
+    "target,store",
+    [
+        (_kill_victim_cache, "cache"),
+        (_kill_victim_checkpoint, "checkpoint"),
+    ],
+)
+def test_sigkill_mid_put_never_accumulates_tmp(tmp_path, target, store):
+    """Repeated kills mid-put leave orphans; the sweep reclaims ALL of
+    them (writer pid is dead), and repeated faulted runs never let the
+    population grow."""
+    root = tmp_path / store
+    for round_no in range(3):
+        _run_and_kill(target, root, tmp_path, f"{store}-{round_no}")
+    orphans = list(root.rglob("*.tmp"))
+    assert len(orphans) == 3, "each killed put should leave its tmp"
+    removed = sweep_stale_tmp(root)
+    assert removed == 3
+    assert list(root.rglob("*.tmp")) == []
+    # A fourth faulted run after the sweep: still exactly one orphan,
+    # and the instance-level sweep entry points reclaim it too.
+    _run_and_kill(target, root, tmp_path, f"{store}-again")
+    if store == "cache":
+        assert ResultCache(root=root, enabled=True).sweep_stale() == 1
+    else:
+        assert SweepCheckpoint(root).sweep_stale() == 1
+    assert list(root.rglob("*.tmp")) == []
+
+
+def test_stats_sweeps_and_reports_stale_tmp(tmp_path):
+    cache = ResultCache(root=tmp_path, enabled=True)
+    cache.put("cc" + "2" * 62, {"x": 1})
+    _run_and_kill(_kill_victim_cache, tmp_path, tmp_path, "stats")
+    stats = cache.stats()
+    assert stats["stale_tmp_removed"] == 1
+    assert stats["tmp_in_flight"] == 0
+    assert stats["entries"] == 1
+    assert list(tmp_path.rglob("*.tmp")) == []
+
+
+def test_sweep_spares_live_writers(tmp_path):
+    """A tmp whose encoded pid is alive (ours) must survive the sweep;
+    one with a dead writer pid must not."""
+    objects = tmp_path / "objects" / "aa"
+    objects.mkdir(parents=True)
+    live = objects / f"{_tmp_prefix()}live.tmp"
+    live.write_bytes(b"in flight")
+    # A real, definitely-dead writer pid: a child that already exited
+    # (reaped, so the pid is free until the kernel recycles it).
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    dead = objects / f".put-{proc.pid}-x.tmp"
+    dead.write_bytes(b"orphan")
+    assert sweep_stale_tmp(tmp_path) == 1
+    assert live.exists()
+    assert not dead.exists()
+
+
+def test_old_unparsable_tmp_swept_by_age(tmp_path):
+    """Legacy tmp names (no pid) fall back to the age policy."""
+    objects = tmp_path / "objects" / "ab"
+    objects.mkdir(parents=True)
+    legacy = objects / "tmpq1w2e3.tmp"
+    legacy.write_bytes(b"old")
+    ancient = time.time() - (TMP_MAX_AGE_SECONDS + 60)
+    os.utime(legacy, (ancient, ancient))
+    fresh = objects / "tmpr4t5y6.tmp"
+    fresh.write_bytes(b"new")
+    assert sweep_stale_tmp(tmp_path) == 1
+    assert not legacy.exists()
+    assert fresh.exists()
+
+
+def test_clear_removes_crash_debris(tmp_path):
+    cache = ResultCache(root=tmp_path, enabled=True)
+    cache.put("dd" + "3" * 62, [1, 2, 3])
+    _run_and_kill(_kill_victim_cache, tmp_path, tmp_path, "clear")
+    assert cache.clear() == 2  # one entry + one orphan tmp
+    assert list(tmp_path.rglob("*.tmp")) == []
+    assert list(tmp_path.rglob("*.pkl")) == []
+
+
+# ----------------------------------------------------------------------
+# Unpicklable values: demote to not-cached, never leak, never raise
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "value",
+    [
+        lambda: None,                       # functions defined locally
+        (i for i in range(3)),              # generators
+        {"nested": {"fh": open(os.devnull)}},  # file handles (TypeError)
+    ],
+    ids=["lambda", "generator", "file-handle"],
+)
+def test_cache_put_unpicklable_is_silent_and_leakless(tmp_path, value):
+    cache = ResultCache(root=tmp_path, enabled=True)
+    key = "ee" + "4" * 62
+    cache.put(key, value)  # must not raise
+    assert cache.get(key) is ResultCache.MISS
+    assert list(tmp_path.rglob("*.tmp")) == []
+
+
+def test_checkpoint_put_unpicklable_is_silent_and_leakless(tmp_path):
+    cp = SweepCheckpoint(tmp_path)
+    cp.put("ff" + "5" * 62, lambda: None)
+    assert cp.get("ff" + "5" * 62) is SweepCheckpoint.MISS
+    assert cp.stores == 0, "a failed put must not count as a store"
+    assert list(tmp_path.rglob("*.tmp")) == []
+
+
+# ----------------------------------------------------------------------
+# Manifest durability
+# ----------------------------------------------------------------------
+def test_write_manifest_fsyncs_before_rename(tmp_path, monkeypatch):
+    """The data blocks must be on disk before the rename publishes the
+    file — record the call order to prove it."""
+    calls = []
+    real_fsync, real_replace = os.fsync, os.replace
+    monkeypatch.setattr(
+        os, "fsync", lambda fd: (calls.append("fsync"), real_fsync(fd))[1]
+    )
+    monkeypatch.setattr(
+        os,
+        "replace",
+        lambda a, b: (calls.append("replace"), real_replace(a, b))[1],
+    )
+    cp = SweepCheckpoint(tmp_path)
+    cp.write_manifest({"regions": 3})
+    assert "fsync" in calls and "replace" in calls
+    assert calls.index("fsync") < calls.index("replace")
+    assert cp.read_manifest()["regions"] == 3
+
+
+def test_write_manifest_bad_meta_keeps_old_manifest(tmp_path):
+    cp = SweepCheckpoint(tmp_path)
+    cp.write_manifest({"run": "good"})
+    cp.write_manifest({"bad": object()})  # not JSON-serializable
+    manifest = cp.read_manifest()
+    assert manifest is not None and manifest["run"] == "good"
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_write_manifest_io_error_keeps_old_and_no_tmp(tmp_path, monkeypatch):
+    cp = SweepCheckpoint(tmp_path)
+    cp.write_manifest({"run": "good"})
+
+    def boom(fd):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(os, "fsync", boom)
+    cp.write_manifest({"run": "torn"})
+    assert cp.read_manifest()["run"] == "good"
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+# ----------------------------------------------------------------------
+# Env-built checkpoint caching: telemetry must accumulate
+# ----------------------------------------------------------------------
+@pytest.fixture
+def _unconfigured_checkpoint(monkeypatch):
+    """Run with no CLI-configured checkpoint so env resolution applies."""
+    import repro.runtime.checkpoint as cp_mod
+
+    monkeypatch.setattr(cp_mod, "_configured", False)
+    monkeypatch.setattr(cp_mod, "_active", None)
+    monkeypatch.setattr(cp_mod, "_env_instance", None)
+    yield cp_mod
+
+
+def test_env_checkpoint_instance_is_cached(
+    tmp_path, monkeypatch, _unconfigured_checkpoint
+):
+    """Repeated ``get_checkpoint()`` under ``NACHOS_CHECKPOINT_DIR``
+    must return ONE instance whose hits/stores accumulate — the old
+    build-a-fresh-instance-per-call behavior zeroed the telemetry every
+    read."""
+    cp_mod = _unconfigured_checkpoint
+    monkeypatch.setenv("NACHOS_CHECKPOINT_DIR", str(tmp_path / "ckpt"))
+    first = cp_mod.get_checkpoint()
+    assert first is not None
+    first.put("aa" + "6" * 62, {"cycles": 7})
+    assert first.stores == 1
+    again = cp_mod.get_checkpoint()
+    assert again is first, "env-built checkpoint must be memoized"
+    assert again.get("aa" + "6" * 62) == {"cycles": 7}
+    assert again.hits == 1
+    third = cp_mod.get_checkpoint()
+    assert third.hits == 1 and third.stores == 1, "counters must persist"
+
+
+def test_env_checkpoint_invalidated_on_env_change(
+    tmp_path, monkeypatch, _unconfigured_checkpoint
+):
+    cp_mod = _unconfigured_checkpoint
+    monkeypatch.setenv("NACHOS_CHECKPOINT_DIR", str(tmp_path / "a"))
+    first = cp_mod.get_checkpoint()
+    monkeypatch.setenv("NACHOS_CHECKPOINT_DIR", str(tmp_path / "b"))
+    second = cp_mod.get_checkpoint()
+    assert second is not first
+    assert second.root == tmp_path / "b"
+    monkeypatch.delenv("NACHOS_CHECKPOINT_DIR")
+    assert cp_mod.get_checkpoint() is None
+
+
+def test_configure_checkpoint_resets_env_memo(
+    tmp_path, monkeypatch, _unconfigured_checkpoint
+):
+    cp_mod = _unconfigured_checkpoint
+    monkeypatch.setenv("NACHOS_CHECKPOINT_DIR", str(tmp_path / "env"))
+    env_built = cp_mod.get_checkpoint()
+    assert env_built is not None
+    configured = cp_mod.configure_checkpoint(tmp_path / "cli")
+    assert cp_mod.get_checkpoint() is configured
+    cp_mod.configure_checkpoint(None)
+    assert cp_mod.get_checkpoint() is None
