@@ -1,0 +1,137 @@
+"""Consistent-hash ring mapping task fingerprints to daemon peers.
+
+The sharded cache tier (:mod:`repro.serve.peers`) needs every daemon in
+a fleet to agree, without coordination, on which peer *owns* a given
+``task_fingerprint`` — so a local miss knows exactly whose disk to ask
+before computing.  A :class:`HashRing` gives that agreement the classic
+way:
+
+* each node is hashed onto the ring at ``vnodes`` pseudo-random points
+  (virtual nodes smooth the per-node key share to within a few percent
+  at the default 64);
+* a key is owned by the first node point clockwise from the key's own
+  hash;
+* adding or removing one node remaps only the key fraction adjacent to
+  that node's points (~``1/len(nodes)``), never reshuffling the rest —
+  a rebooted fleet member reclaims exactly its old prefix.
+
+Everything is sha256-based and therefore identical across processes,
+machines, and ``PYTHONHASHSEED`` values: the same membership always
+yields the same owner for the same fingerprint, which is what makes
+ring routing usable as a *protocol* rather than a per-process heuristic
+(``tests/test_hashring.py`` pins this cross-process).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Optional, Tuple
+
+#: Virtual nodes per physical node.  64 keeps the worst/best key-share
+#: ratio under ~1.5x for small fleets while staying cheap to rebuild.
+DEFAULT_VNODES = 64
+
+
+def _point(text: str) -> int:
+    """A stable 64-bit ring coordinate for *text* (sha256-derived)."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def key_point(key: str) -> int:
+    """Where *key* (a task fingerprint) lands on the ring."""
+    return _point("key\x1f" + key)
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over named nodes.
+
+    Nodes are opaque strings (the fleet uses stable peer names like
+    ``shard0``, not addresses, so ephemeral ports never move keys).
+    """
+
+    def __init__(
+        self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        # Sorted parallel arrays: ring coordinates and the node at each.
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        self._nodes: set = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership -----------------------------------------------------
+    def add(self, node: str) -> bool:
+        """Add *node*; returns False if it was already present."""
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            return False
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            point = _point(f"node\x1f{node}\x1f{i}")
+            idx = bisect.bisect_left(self._points, point)
+            # Same-point collisions (different nodes) break ties by
+            # node-name order so every process agrees on the winner.
+            while (
+                idx < len(self._points)
+                and self._points[idx] == point
+                and self._owners[idx] < node
+            ):
+                idx += 1
+            self._points.insert(idx, point)
+            self._owners.insert(idx, node)
+        return True
+
+    def remove(self, node: str) -> bool:
+        """Remove *node*; returns False if it was not present."""
+        if node not in self._nodes:
+            return False
+        self._nodes.discard(node)
+        keep = [
+            (p, o)
+            for p, o in zip(self._points, self._owners)
+            if o != node
+        ]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+        return True
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # -- lookup ---------------------------------------------------------
+    def owner(self, key: str) -> Optional[str]:
+        """The node owning *key*, or None for an empty ring."""
+        if not self._points:
+            return None
+        idx = bisect.bisect_right(self._points, key_point(key))
+        if idx == len(self._points):
+            idx = 0  # wrap: the first point clockwise past the top
+        return self._owners[idx]
+
+    def owners(self, key: str, n: int) -> Tuple[str, ...]:
+        """The first *n* distinct nodes clockwise from *key* (preference
+        order for replica placement; ``owners(key, 1)[0] == owner(key)``)."""
+        if not self._points or n < 1:
+            return ()
+        start = bisect.bisect_right(self._points, key_point(key))
+        picked: List[str] = []
+        for step in range(len(self._points)):
+            node = self._owners[(start + step) % len(self._points)]
+            if node not in picked:
+                picked.append(node)
+                if len(picked) == n or len(picked) == len(self._nodes):
+                    break
+        return tuple(picked)

@@ -1,0 +1,345 @@
+"""Peer read-through for the sharded ``nachos-serve`` cache tier.
+
+A fleet of daemons shares one *logical* result store: every task
+fingerprint has exactly one ring owner (:mod:`repro.serve.hashring`),
+and a daemon that misses its local store asks the owner
+(``GET /peer/result/<fp>``) before paying for a computation.  The
+:class:`PeerTier` is the client half of that protocol plus the health
+bookkeeping that keeps a dead peer from stalling traffic:
+
+* **Hop limit.**  Every peer request carries an ``X-Nachos-Hops``
+  header.  A daemon answering a peer request may forward it once more
+  toward the node *it* believes is the owner (membership views can skew
+  during a rolling restart), but only while ``hops + 1 < hop_limit`` —
+  so a forwarding cycle dies at the limit instead of looping.
+* **Down marking with seeded backoff.**  A connect error or timeout
+  marks the peer down until ``now + RetryPolicy.backoff(...)`` — the
+  same deterministic capped-exponential schedule the supervised pool
+  uses (:mod:`repro.runtime.retry`), keyed by peer name so the schedule
+  is reproducible.  While a peer is down, lookups skip straight to
+  local compute: the fleet degrades to independent daemons, never to
+  errors.
+* **Best-effort write-through.**  After computing a task it does not
+  own, a daemon *offers* the payload to the owner
+  (``PUT /peer/result/<fp>``).  Offers are fire-and-forget; losing one
+  costs a future recompute, never correctness.
+
+Peer membership is ``name -> host:port``.  Names (not addresses) hash
+onto the ring, so a peer that restarts on a new ephemeral port keeps
+its key prefix once the fleet learns the new address
+(``POST /peers``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.runtime.retry import RetryPolicy
+from repro.serve.hashring import DEFAULT_VNODES, HashRing
+
+#: Forwarding budget for one peer lookup.  2 = one skew-correcting
+#: forward on top of the direct owner hop; never enough to loop.
+DEFAULT_HOP_LIMIT = 2
+
+#: Header carrying the hop count of a peer-protocol request.
+HOPS_HEADER = "X-Nachos-Hops"
+
+#: Per-connection budget for one peer round trip.  A peer slower than
+#: this is treated as down — local compute is always an answer.
+DEFAULT_FETCH_TIMEOUT = 5.0
+
+#: Consecutive-failure count is capped here before feeding the backoff
+#: exponent, so a long outage plateaus at ``backoff_max`` rather than
+#: overflowing the schedule.
+_MAX_BACKOFF_ATTEMPT = 8
+
+_MAX_PEER_BODY = 1 << 22  # 4 MiB: payloads are small JSON dicts
+
+
+class PeerProtocolError(RuntimeError):
+    """A malformed response from a peer (treated as a miss + failure)."""
+
+
+def parse_peer_spec(spec: str) -> Dict[str, str]:
+    """Parse the ``--peers`` / ``NACHOS_PEERS`` grammar.
+
+    ``name=host:port[,name=host:port...]`` — the name is the stable
+    ring identity; without ``name=`` the address doubles as the name
+    (fine for fixed-port fleets, wrong for ephemeral ports).
+    """
+    peers: Dict[str, str] = {}
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, eq, address = chunk.partition("=")
+        if not eq:
+            name, address = chunk, chunk
+        name = name.strip()
+        address = address.strip()
+        if not name or not address:
+            raise ValueError(f"bad peer entry {chunk!r} (want name=host:port)")
+        split_address(address)  # validate eagerly
+        if name in peers and peers[name] != address:
+            raise ValueError(f"peer name {name!r} given twice with different addresses")
+        peers[name] = address
+    return peers
+
+
+def split_address(address: str) -> Tuple[str, int]:
+    """``host:port`` -> ``(host, port)``, validating the port."""
+    host, colon, port_text = address.rpartition(":")
+    if not colon or not host:
+        raise ValueError(f"bad peer address {address!r} (want host:port)")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bad peer port in {address!r}") from None
+    if not 1 <= port <= 65535:
+        raise ValueError(f"peer port out of range in {address!r}")
+    return host, port
+
+
+async def peer_http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    headers: Optional[Mapping[str, str]] = None,
+    body: Optional[Mapping[str, Any]] = None,
+    timeout: float = DEFAULT_FETCH_TIMEOUT,
+) -> Tuple[int, Dict[str, Any]]:
+    """One JSON-over-HTTP round trip on the event loop (no threads).
+
+    Returns ``(status, payload)``.  Connect errors and timeouts raise
+    (``OSError`` / ``asyncio.TimeoutError``); garbage responses raise
+    :class:`PeerProtocolError`.
+    """
+    deadline = time.monotonic() + timeout
+
+    def remaining() -> float:
+        return max(0.01, deadline - time.monotonic())
+
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), remaining()
+    )
+    try:
+        data = (
+            json.dumps(body, sort_keys=True).encode("utf-8")
+            if body is not None
+            else b""
+        )
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {host}:{port}",
+            "Connection: close",
+            "Content-Type: application/json",
+            f"Content-Length: {len(data)}",
+        ]
+        for key, value in (headers or {}).items():
+            lines.append(f"{key}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + data)
+        await asyncio.wait_for(writer.drain(), remaining())
+
+        status_line = await asyncio.wait_for(reader.readline(), remaining())
+        parts = status_line.decode("latin-1", "replace").split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise PeerProtocolError(f"bad status line {status_line!r}")
+        status = int(parts[1])
+        length = 0
+        while True:
+            raw = await asyncio.wait_for(reader.readline(), remaining())
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = raw.decode("latin-1", "replace").partition(":")
+            if key.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise PeerProtocolError("bad peer Content-Length") from None
+        if length < 0 or length > _MAX_PEER_BODY:
+            raise PeerProtocolError(f"peer response too large ({length} bytes)")
+        raw_body = (
+            await asyncio.wait_for(reader.readexactly(length), remaining())
+            if length
+            else b"{}"
+        )
+        try:
+            payload = json.loads(raw_body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise PeerProtocolError("peer response is not JSON") from None
+        if not isinstance(payload, dict):
+            raise PeerProtocolError("peer response is not a JSON object")
+        return status, payload
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (OSError, asyncio.CancelledError):
+            pass
+
+
+@dataclass
+class _PeerHealth:
+    """Consecutive failures + the backoff gate they imply."""
+
+    failures: int = 0
+    down_until: float = 0.0
+
+
+@dataclass
+class PeerFetch:
+    """Outcome of one owner lookup (the daemon folds these into metrics)."""
+
+    outcome: str                      # hit | miss | down | error | self
+    payload: Optional[Dict[str, Any]] = None
+    peer: Optional[str] = None
+    elapsed: float = 0.0
+    forwarded: bool = field(default=False)
+
+
+class PeerTier:
+    """Ring routing + health + the peer-protocol client for one daemon."""
+
+    def __init__(
+        self,
+        self_name: str,
+        membership: Mapping[str, str],
+        vnodes: int = DEFAULT_VNODES,
+        hop_limit: int = DEFAULT_HOP_LIMIT,
+        fetch_timeout: float = DEFAULT_FETCH_TIMEOUT,
+        policy: Optional[RetryPolicy] = None,
+        time_fn: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.self_name = self_name
+        self.vnodes = vnodes
+        self.hop_limit = max(1, hop_limit)
+        self.fetch_timeout = fetch_timeout
+        self.policy = policy if policy is not None else RetryPolicy.from_env()
+        self._time = time_fn
+        self.membership: Dict[str, str] = {}
+        self.ring = HashRing(vnodes=vnodes)
+        self._health: Dict[str, _PeerHealth] = {}
+        self.set_membership(membership)
+
+    # -- membership -----------------------------------------------------
+    def set_membership(self, membership: Mapping[str, str]) -> None:
+        """Replace the fleet view (``name -> host:port``); self included."""
+        peers = dict(membership)
+        for name, address in peers.items():
+            split_address(address)
+        if self.self_name not in peers:
+            raise ValueError(
+                f"membership must include this daemon ({self.self_name!r}); "
+                f"got {sorted(peers)}"
+            )
+        self.membership = peers
+        self.ring = HashRing(peers, vnodes=self.vnodes)
+        self._health = {
+            name: self._health.get(name, _PeerHealth()) for name in peers
+        }
+
+    def owner(self, fingerprint: str) -> Optional[str]:
+        return self.ring.owner(fingerprint)
+
+    def address(self, name: str) -> str:
+        return self.membership[name]
+
+    # -- health ---------------------------------------------------------
+    def is_down(self, name: str) -> bool:
+        health = self._health.get(name)
+        return health is not None and self._time() < health.down_until
+
+    def mark_failure(self, name: str) -> float:
+        """Record a failed round trip; returns the backoff applied."""
+        health = self._health.setdefault(name, _PeerHealth())
+        health.failures += 1
+        delay = self.policy.backoff(
+            f"peer-{name}", min(health.failures - 1, _MAX_BACKOFF_ATTEMPT)
+        )
+        health.down_until = self._time() + delay
+        return delay
+
+    def mark_success(self, name: str) -> None:
+        self._health[name] = _PeerHealth()
+
+    def down_peers(self) -> Tuple[str, ...]:
+        return tuple(sorted(n for n in self.membership if self.is_down(n)))
+
+    # -- peer protocol --------------------------------------------------
+    async def fetch(self, fingerprint: str, hops: int = 0) -> PeerFetch:
+        """Ask the ring owner for *fingerprint*'s payload.
+
+        Never raises: connect errors and timeouts mark the peer down and
+        come back as ``outcome="error"`` — the caller computes locally.
+        """
+        owner = self.owner(fingerprint)
+        if owner is None or owner == self.self_name:
+            return PeerFetch(outcome="self", peer=owner)
+        if self.is_down(owner):
+            return PeerFetch(outcome="down", peer=owner)
+        host, port = split_address(self.membership[owner])
+        started = time.perf_counter()
+        try:
+            status, payload = await peer_http_json(
+                host,
+                port,
+                "GET",
+                f"/peer/result/{fingerprint}",
+                headers={HOPS_HEADER: str(hops)},
+                timeout=self.fetch_timeout,
+            )
+        except (OSError, asyncio.TimeoutError, PeerProtocolError):
+            self.mark_failure(owner)
+            return PeerFetch(
+                outcome="error",
+                peer=owner,
+                elapsed=time.perf_counter() - started,
+            )
+        elapsed = time.perf_counter() - started
+        self.mark_success(owner)
+        if status == 200 and isinstance(payload.get("payload"), dict):
+            return PeerFetch(
+                outcome="hit",
+                payload=payload["payload"],
+                peer=owner,
+                elapsed=elapsed,
+                forwarded=bool(payload.get("forwarded")),
+            )
+        return PeerFetch(outcome="miss", peer=owner, elapsed=elapsed)
+
+    async def offer(self, fingerprint: str, payload: Mapping[str, Any]) -> bool:
+        """Best-effort write-through of a computed payload to the owner."""
+        owner = self.owner(fingerprint)
+        if owner is None or owner == self.self_name or self.is_down(owner):
+            return False
+        host, port = split_address(self.membership[owner])
+        try:
+            status, _ = await peer_http_json(
+                host,
+                port,
+                "PUT",
+                f"/peer/result/{fingerprint}",
+                body=dict(payload),
+                timeout=self.fetch_timeout,
+            )
+        except (OSError, asyncio.TimeoutError, PeerProtocolError):
+            self.mark_failure(owner)
+            return False
+        self.mark_success(owner)
+        return status == 200
+
+    # -- introspection --------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``GET /peers`` view of this daemon's fleet state."""
+        return {
+            "self": self.self_name,
+            "peers": dict(sorted(self.membership.items())),
+            "hop_limit": self.hop_limit,
+            "vnodes": self.vnodes,
+            "down": list(self.down_peers()),
+        }

@@ -196,6 +196,20 @@ def parse_request(payload: Any) -> ServeRequest:
     )
 
 
+def payload_key(task_fp: str) -> str:
+    """Result-store key for one task's JSON payload.
+
+    Namespaced under the task fingerprint so serve payloads can share a
+    :class:`~repro.runtime.cache.ResultCache` root with compile/sim
+    entries without colliding.  This key is the unit the sharded peer
+    tier moves around: ``GET/PUT /peer/result/<task_fp>`` reads and
+    writes exactly ``store[payload_key(task_fp)]``.
+    """
+    from repro.runtime.fingerprint import combine
+
+    return combine("serve-payload", task_fp)
+
+
 def run_payload(run) -> Dict[str, Any]:
     """JSON-safe summary of one :class:`~repro.experiments.common.SystemRun`."""
     sim = run.sim

@@ -1,0 +1,158 @@
+"""Properties of the serve-tier consistent-hash ring.
+
+The ring is the routing contract of the sharded cache tier
+(``docs/serve.md``): every daemon must map every task fingerprint to
+the same owner, across processes and interpreter hash seeds, and
+membership churn must move only the keys it has to.  All randomness
+below is seeded — the assertions are exact, not flaky bounds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.serve.hashring import DEFAULT_VNODES, HashRing, key_point
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _fingerprints(n: int, seed: int = 7):
+    """n pseudo task fingerprints (hex, like ``task_fingerprint``'s)."""
+    rng = random.Random(seed)
+    return [f"{rng.getrandbits(256):064x}" for _ in range(n)]
+
+
+def _distribution(ring: HashRing, keys):
+    counts = {node: 0 for node in ring.nodes}
+    for key in keys:
+        counts[ring.owner(key)] += 1
+    return counts
+
+
+def test_balance_bound_over_10k_fingerprints():
+    """With 64 vnodes per node, no shard's share of 10k random keys
+    strays past 2x/0.4x of the fair share — the bound that keeps one
+    daemon from becoming the fleet's hot spot."""
+    keys = _fingerprints(10_000)
+    for n_nodes in (2, 3, 5):
+        ring = HashRing([f"shard{i}" for i in range(n_nodes)])
+        counts = _distribution(ring, keys)
+        fair = len(keys) / n_nodes
+        for node, count in counts.items():
+            assert 0.4 * fair < count < 2.0 * fair, (
+                f"{node} owns {count}/{len(keys)} keys with {n_nodes} "
+                f"nodes (fair share {fair:.0f})"
+            )
+        assert sum(counts.values()) == len(keys)
+
+
+def test_owner_is_deterministic_across_processes():
+    """key->owner must not depend on interpreter state: a subprocess
+    with a different PYTHONHASHSEED maps an identical sample of keys to
+    identical owners (the fleet property — daemons are processes)."""
+    nodes = ["shard0", "shard1", "shard2"]
+    keys = _fingerprints(64, seed=21)
+    local = {key: HashRing(nodes).owner(key) for key in keys}
+
+    script = (
+        "import json, sys\n"
+        "from repro.serve.hashring import HashRing\n"
+        "nodes, keys = json.load(sys.stdin)\n"
+        "ring = HashRing(nodes)\n"
+        "print(json.dumps({k: ring.owner(k) for k in keys}))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC)
+    env["PYTHONHASHSEED"] = "424242"  # not the suite's seed
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        input=json.dumps([nodes, keys]),
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert json.loads(proc.stdout) == local
+
+
+def test_add_node_remaps_only_to_the_new_node():
+    """Growing the ring steals keys *for* the new node only: every key
+    either keeps its owner or moves to the addition, and the stolen
+    fraction is near 1/(n+1), not a full reshuffle."""
+    keys = _fingerprints(10_000, seed=9)
+    ring = HashRing(["shard0", "shard1", "shard2", "shard3"])
+    before = {key: ring.owner(key) for key in keys}
+    assert ring.add("shard4") is True
+    assert ring.add("shard4") is False  # idempotent
+    moved = 0
+    for key in keys:
+        after = ring.owner(key)
+        if after != before[key]:
+            assert after == "shard4", (
+                f"{key[:12]} moved {before[key]} -> {after}, "
+                "not to the new node"
+            )
+            moved += 1
+    # Fair share for the 5th node is 20%; consistent hashing with 64
+    # vnodes lands well inside [8%, 35%].
+    assert 0.08 < moved / len(keys) < 0.35
+
+
+def test_remove_node_remaps_only_its_own_keys():
+    keys = _fingerprints(10_000, seed=13)
+    ring = HashRing(["shard0", "shard1", "shard2"])
+    before = {key: ring.owner(key) for key in keys}
+    assert ring.remove("shard1") is True
+    assert ring.remove("shard1") is False
+    assert "shard1" not in ring
+    for key in keys:
+        if before[key] != "shard1":
+            assert ring.owner(key) == before[key], (
+                "a surviving node's key moved on an unrelated removal"
+            )
+        else:
+            assert ring.owner(key) in ("shard0", "shard2")
+
+
+def test_add_then_remove_is_identity():
+    keys = _fingerprints(2_000, seed=17)
+    ring = HashRing(["a", "b", "c"])
+    before = {key: ring.owner(key) for key in keys}
+    ring.add("d")
+    ring.remove("d")
+    assert {key: ring.owner(key) for key in keys} == before
+
+
+def test_owners_walk_is_distinct_and_ordered():
+    ring = HashRing(["a", "b", "c"], vnodes=DEFAULT_VNODES)
+    for key in _fingerprints(50, seed=3):
+        owners = ring.owners(key, 3)
+        assert len(owners) == 3
+        assert len(set(owners)) == 3
+        assert owners[0] == ring.owner(key)
+    assert ring.owners("anything", 10) == ring.owners("anything", 3)
+
+
+def test_empty_and_single_node_edges():
+    empty = HashRing([])
+    assert empty.owner("k") is None
+    assert empty.owners("k", 2) == ()
+    assert len(empty) == 0
+    solo = HashRing(["only"])
+    assert all(solo.owner(k) == "only" for k in _fingerprints(20))
+
+
+def test_key_point_is_stable():
+    """The hash anchor itself is pinned: a silent change to the point
+    function would re-home every stored payload in a live fleet."""
+    assert key_point("") == key_point("")
+    assert key_point("a") != key_point("b")
+    # Golden value: sha256-derived, independent of PYTHONHASHSEED.
+    assert key_point("nachos") == 0x53F1C918C1903CD6

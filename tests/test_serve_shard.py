@@ -1,0 +1,349 @@
+"""Multi-daemon tests for the sharded remote cache tier.
+
+Three live in-thread daemons form a consistent-hash ring (each with its
+own on-disk payload store), traffic crosses shard boundaries through
+the peer read-through protocol, one shard dies mid-load and the fleet
+must degrade — not corrupt: every request completes with payloads
+byte-identical to a fault-free single-daemon run, and the killed shard
+rejoins serving its prefix from disk.
+
+In-process "kill" is a graceful shutdown (a thread cannot be SIGKILLed);
+the hard-kill variant of the same scenario runs in
+``benchmarks/bench_serve.py --shards`` and the ``serve-shard-smoke`` CI
+job, which SIGKILL a daemon subprocess.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    HashRing,
+    NachosServeDaemon,
+    ServeClient,
+    ServeError,
+    parse_request,
+)
+from repro.serve.peers import HOPS_HEADER
+
+#: The request mix every phase replays; small enough for CI, three
+#: distinct tasks so the ring has prefixes to split.
+MIX = [
+    ("gather", ["nachos"], 4),
+    ("scatter", ["opt-lsq"], 4),
+    ("stream_triad", ["nachos"], 3),
+]
+
+
+def _boot(store_dir=None, **kwargs):
+    daemon = NachosServeDaemon(
+        port=0, quiet=True, batch_window=0.005,
+        store_dir=str(store_dir) if store_dir else None, **kwargs,
+    )
+    thread = daemon.serve_in_thread()
+    return daemon, thread
+
+
+def _stop(daemon, thread):
+    try:
+        daemon.request_shutdown()
+    except Exception:
+        pass
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+def _submit_failover(clients, start, region, systems, invocations):
+    """Round the fleet until a live shard answers (requests are
+    content-addressed, so a resubmit is idempotent)."""
+    last_exc = None
+    for step in range(len(clients)):
+        client = clients[(start + step) % len(clients)]
+        try:
+            return client.submit(
+                region, systems=systems, invocations=invocations,
+                wait=True, wait_timeout=60,
+            )
+        except (OSError, http.client.HTTPException, ServeError) as exc:
+            if isinstance(exc, ServeError) and exc.status == 400:
+                raise
+            last_exc = exc
+    raise last_exc
+
+
+def _collect(clients, mix=MIX):
+    out = {}
+    for i, (region, systems, invocations) in enumerate(mix):
+        response = _submit_failover(clients, i, region, systems, invocations)
+        assert response["status"] == "done", response
+        out[f"{region}:{','.join(systems)}"] = response["results"]
+    return out
+
+
+def _task_fp(region, systems, invocations):
+    return parse_request(
+        {"region": region, "systems": systems, "invocations": invocations}
+    ).task_fps[0]
+
+
+@pytest.fixture
+def ring(tmp_path):
+    """A wired 3-shard ring with per-shard stores; stopped at teardown."""
+    daemons, threads, clients = [], [], []
+    for i in range(3):
+        daemon, thread = _boot(tmp_path / f"shard{i}")
+        daemons.append(daemon)
+        threads.append(thread)
+        clients.append(ServeClient(port=daemon.port))
+    membership = {
+        f"shard{i}": f"127.0.0.1:{d.port}" for i, d in enumerate(daemons)
+    }
+    for i, client in enumerate(clients):
+        view = client.set_peers(membership, self_name=f"shard{i}")
+        assert view["self"] == f"shard{i}"
+        assert sorted(view["peers"]) == sorted(membership)
+    try:
+        yield daemons, clients
+    finally:
+        for daemon, thread in zip(daemons, threads):
+            _stop(daemon, thread)
+
+
+def _await_peer_payload(client, fp, timeout=15.0):
+    """Poll until the write-through offer lands on *client*'s store."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        payload = client.peer_result(fp)
+        if payload is not None:
+            return payload
+        time.sleep(0.02)
+    raise AssertionError(f"offer for {fp[:12]} never landed")
+
+
+def test_peer_read_through_serves_cross_shard(ring):
+    """Shard X computes; the owner receives the write-through offer;
+    shard Y then answers the same task via a peer hit, identically."""
+    daemons, clients = ring
+    region, systems, invocations = MIX[0]
+    fp = _task_fp(region, systems, invocations)
+    owner = HashRing([f"shard{i}" for i in range(3)]).owner(fp)
+    owner_idx = int(owner[len("shard"):])
+
+    first = clients[0].submit(
+        region, systems=systems, invocations=invocations, wait=True,
+        wait_timeout=60,
+    )
+    assert first["status"] == "done"
+    payload = _await_peer_payload(clients[owner_idx], fp)
+    assert payload["cycles"] == first["results"][systems[0]]["cycles"]
+
+    second_idx = next(i for i in range(3) if i not in (0, owner_idx))
+    second = clients[second_idx].submit(
+        region, systems=systems, invocations=invocations, wait=True,
+        wait_timeout=60,
+    )
+    assert second["results"] == first["results"]
+    metrics = clients[second_idx].metrics()
+    assert metrics["serve.peer_hit"]["value"] >= 1
+    assert metrics["serve.peer_fetch_seconds"]["count"] >= 1
+
+
+def test_kill_one_shard_mid_load_results_stay_identical(ring, tmp_path):
+    """The acceptance scenario: a 3-shard ring loses a daemon mid-load;
+    every request still completes, payloads byte-identical to a
+    fault-free single-daemon run; the killed peer rejoins on its old
+    store and serves its prefix from disk."""
+    daemons, clients = ring
+
+    # Fault-free single-daemon baseline (no peers, no store).
+    solo, solo_thread = _boot()
+    try:
+        baseline = _collect([ServeClient(port=solo.port)])
+    finally:
+        _stop(solo, solo_thread)
+
+    # Fleet warmup must already agree with the baseline.
+    assert _collect(clients) == baseline
+
+    # Drive load and take shard1 down while it runs.
+    errors, responses = [], []
+    lock = threading.Lock()
+
+    def worker(offset):
+        for i in range(offset, 24, 4):
+            region, systems, invocations = MIX[i % len(MIX)]
+            try:
+                response = _submit_failover(
+                    clients, offset, region, systems, invocations
+                )
+                with lock:
+                    responses.append(
+                        (f"{region}:{','.join(systems)}", response)
+                    )
+            except Exception as exc:  # pragma: no cover - surfaced below
+                with lock:
+                    errors.append(exc)
+
+    workers = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for t in workers:
+        t.start()
+    time.sleep(0.05)
+    daemons[1].request_shutdown()
+    for t in workers:
+        t.join(timeout=120)
+    assert not errors
+    assert len(responses) == 24
+    for key, response in responses:
+        assert response["status"] == "done"
+        assert response["results"] == baseline[key], (
+            f"{key} diverged from the fault-free baseline after the kill"
+        )
+
+    # The two survivors, as a degraded fleet, still agree.
+    survivors = [clients[0], clients[2]]
+    assert _collect(survivors) == baseline
+
+    # Rejoin: a fresh daemon on shard1's old store directory, new port.
+    rejoined, rejoin_thread = _boot(tmp_path / "shard1")
+    try:
+        rejoin_client = ServeClient(port=rejoined.port)
+        membership = {
+            "shard0": f"127.0.0.1:{daemons[0].port}",
+            "shard1": f"127.0.0.1:{rejoined.port}",
+            "shard2": f"127.0.0.1:{daemons[2].port}",
+        }
+        for client, name in (
+            (clients[0], "shard0"),
+            (rejoin_client, "shard1"),
+            (clients[2], "shard2"),
+        ):
+            client.set_peers(membership, self_name=name)
+        assert _collect([rejoin_client]) == baseline
+        metrics = rejoin_client.metrics()
+        assert metrics["serve.store_hits"]["value"] >= 1, (
+            "the rejoined shard recomputed everything instead of "
+            "serving its prefix from its on-disk store"
+        )
+    finally:
+        _stop(rejoined, rejoin_thread)
+
+
+def test_dead_peer_marked_down_and_fleet_degrades(tmp_path):
+    """With its only peer dead, a daemon still answers every request
+    (local compute fallback) and stops dialing the corpse after the
+    first failure — the seeded-backoff down marker."""
+    alive, alive_thread = _boot(tmp_path / "alive")
+    dead, dead_thread = _boot(tmp_path / "dead")
+    client = ServeClient(port=alive.port)
+    try:
+        membership = {
+            "alive": f"127.0.0.1:{alive.port}",
+            "dead": f"127.0.0.1:{dead.port}",
+        }
+        client.set_peers(membership, self_name="alive")
+        ServeClient(port=dead.port).set_peers(membership, self_name="dead")
+        _stop(dead, dead_thread)
+
+        # A task the ring routes to the dead peer forces a peer dial.
+        ring = HashRing(["alive", "dead"])
+        dead_owned = [
+            (region, systems, invocations)
+            for region, systems, invocations in MIX
+            if ring.owner(_task_fp(region, systems, invocations)) == "dead"
+        ]
+        assert dead_owned, "fixture mix never routes to the dead peer"
+
+        for region, systems, invocations in dead_owned:
+            response = client.submit(
+                region, systems=systems, invocations=invocations, wait=True,
+                wait_timeout=60,
+            )
+            assert response["status"] == "done"
+
+        metrics = client.metrics()
+        outcomes = sum(
+            metrics.get(f"serve.peer_{o}", {}).get("value", 0)
+            for o in ("error", "down")
+        )
+        assert outcomes >= len(dead_owned)
+        assert metrics.get("serve.peer_error", {}).get("value", 0) >= 1
+        view = client.get_peers()
+        assert view["down"] == ["dead"]
+    finally:
+        _stop(alive, alive_thread)
+
+
+def test_hop_limit_bounds_forwarding(tmp_path):
+    """Skewed membership views forward at most once, and a request at
+    the hop limit is rejected — the loop can never close."""
+    target, target_thread = _boot(tmp_path / "target")
+    holder, holder_thread = _boot(tmp_path / "holder")
+    try:
+        target_client = ServeClient(port=target.port)
+        holder_client = ServeClient(port=holder.port)
+        membership = {
+            "target": f"127.0.0.1:{target.port}",
+            "holder": f"127.0.0.1:{holder.port}",
+        }
+        target_client.set_peers(membership, self_name="target")
+        holder_client.set_peers(membership, self_name="holder")
+
+        # A fingerprint the *target's* ring assigns to the holder, whose
+        # store we seed directly via the write-through endpoint.
+        ring = HashRing(["target", "holder"])
+        fp = next(
+            f"{i:064x}" for i in range(64)
+            if ring.owner(f"{i:064x}") == "holder"
+        )
+        payload = {"cycles": 123, "correct": True}
+        assert holder_client.peer_put(fp, payload)["stored"] is True
+
+        # hops=0: target misses locally, forwards once, returns the hit.
+        raw = target_client._request(
+            "GET", f"/peer/result/{fp}", headers={HOPS_HEADER: "0"}
+        )
+        assert raw["payload"] == payload
+        assert raw["forwarded"] is True
+        assert raw["source"] == "holder"
+        assert target_client.metrics()["serve.peer_forwards"]["value"] == 1
+
+        # hops=1 (limit 2): forwarding budget exhausted -> clean miss,
+        # even though the holder has the payload one hop away.
+        assert target_client.peer_result(fp, hops=1) is None
+
+        # hops at/after the limit: rejected outright.
+        with pytest.raises(ServeError) as excinfo:
+            target_client._request(
+                "GET", f"/peer/result/{fp}", headers={HOPS_HEADER: "2"}
+            )
+        assert excinfo.value.status == 400
+        assert target_client.metrics()["serve.peer_hop_limited"]["value"] == 1
+    finally:
+        _stop(target, target_thread)
+        _stop(holder, holder_thread)
+
+
+def test_peerless_daemon_unchanged(tmp_path):
+    """No peers, no store-dir: the daemon keeps its pre-shard behavior
+    (no payload store, no tier, peer endpoints answer inert views)."""
+    daemon, thread = _boot()
+    try:
+        client = ServeClient(port=daemon.port)
+        response = client.submit(
+            "gather", systems=["nachos"], invocations=3, wait=True,
+            wait_timeout=60,
+        )
+        assert response["status"] == "done"
+        assert daemon.store is None
+        assert daemon.peer_tier is None
+        view = client.get_peers()
+        assert view["peers"] == {}
+        metrics = client.metrics()
+        assert "serve.peers" not in metrics
+        assert "serve.store_hits" not in metrics
+    finally:
+        _stop(daemon, thread)
