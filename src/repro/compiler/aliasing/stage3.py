@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.compiler.labels import AliasLabel, AliasMatrix, PairKind, pair_kind
+from repro.compiler.ordering import relation_guarantees_order
 from repro.ir.graph import DFGraph
 
 
@@ -128,22 +129,14 @@ def prune_stage3(
                 continue
             plan.retained.append(RetainedRelation(older, younger, label, kind))
             # Only *guaranteed* orderings may justify pruning other
-            # relations: data edges and MUST edges always order their
-            # endpoints, but a MAY edge orders them only when the runtime
-            # addresses happen to conflict (NACHOS lets non-conflicting
-            # pairs race).  Treating retained MAY edges as ordering would
-            # make the transitive pruning unsound under NACHOS.
-            #
-            # Exact-match ST->LD relations may be enforced as *forwards*,
-            # which deliver the store's value as soon as it is computed —
-            # long before the store's publish completes in the cache.  A
-            # chain through such an edge therefore does NOT order the
-            # store's publish before downstream accesses, so forwarding
-            # candidates must not justify pruning either (a straddling
-            # cold-line store whose forwarded consumer feeds a warm-line
-            # store would otherwise publish out of order).
-            may_forward = kind is PairKind.ST_LD and (older, younger) in exact
-            if label is AliasLabel.MUST and not may_forward:
+            # relations: retained MAY edges order their endpoints only on
+            # a runtime conflict, and exact-match ST->LD relations lower
+            # to FORWARD edges, which deliver the store's value long
+            # before its cache publish — pruning through either would let
+            # chains race.  The rule lives in repro.compiler.ordering so
+            # the verifier and the sync-coverage checker apply the exact
+            # same one (PR 3's unsoundness came from duplicating it).
+            if relation_guarantees_order(label, kind, older, younger, exact):
                 reach.add_edge(older, younger)
 
     def by_span(pairs: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:

@@ -1,0 +1,165 @@
+"""MDE sync-coverage checking (AccelSync-flavored).
+
+The stage-5 oracle (:mod:`repro.compiler.aliasing.stage5`) defines,
+independently of the pipeline, which pairs *require* a happens-before
+guarantee: every disambiguation-relevant pair the separation-logic
+checker cannot prove disjoint.  This module proves that the enforcement
+the compiler actually installed **covers** that required set — that
+every such pair is ordered by
+
+* guaranteed reachability over data edges + ORDER MDEs
+  (:func:`repro.compiler.verify.guaranteed_reachability`, which applies
+  the shared publish-semantics rule from :mod:`repro.compiler.ordering`
+  — FORWARD and MAY edges never appear in transitive chains), or
+* the pair's **own** MDE of any kind: an ORDER edge orders it directly,
+  a FORWARD edge delivers the store's value to the load, and a MAY edge
+  serializes (NACHOS-SW) or ``==?``-checks (NACHOS) the pair at runtime.
+
+Anything left over is an *uncovered pair* — a statically detected
+MDE-insertion bug — reported as a located :class:`CoverageGap` naming
+both operations and their symbolic addresses.  This turns the class of
+bug PR 3 found dynamically (unsound stage-3 pruning dropped a required
+ordering) into one a compile-time check catches; the mutation tests in
+``tests/test_coverage_checker.py`` re-introduce exactly that bug plus a
+hand-dropped MDE and assert both surface here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.compiler.aliasing.stage5 import OracleVerdict, oracle_verdict
+from repro.compiler.aliasing.symbolic import DEFAULT_ENUMERATION_LIMIT
+from repro.compiler.labels import AliasLabel, PairKind, pair_kind
+from repro.compiler.verify import guaranteed_reachability
+from repro.ir.graph import DFGraph
+
+
+@dataclass(frozen=True)
+class CoverageGap:
+    """A required happens-before pair no installed enforcement covers."""
+
+    older: int
+    younger: int
+    label: AliasLabel  # the oracle's verdict, not the compiler's
+    kind: PairKind
+    older_desc: str
+    younger_desc: str
+
+    def __str__(self) -> str:
+        return (
+            f"uncovered {self.label.value.upper()} {self.kind.value} pair: "
+            f"{self.older_desc} must happen before {self.younger_desc} "
+            "but no data/ORDER path, FORWARD, or MAY check enforces it"
+        )
+
+
+@dataclass
+class CoverageReport:
+    """Result of one region's sync-coverage check."""
+
+    region: str
+    required: int = 0  # pairs the oracle could not prove disjoint
+    covered: int = 0
+    gaps: List[CoverageGap] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.gaps
+
+    def describe(self) -> str:
+        lines = [
+            f"sync coverage of region '{self.region}': "
+            f"{self.covered}/{self.required} required pairs covered"
+        ]
+        lines.extend(f"  {gap}" for gap in self.gaps)
+        return "\n".join(lines)
+
+
+def _op_desc(graph: DFGraph, op_id: int) -> str:
+    op = graph.op(op_id)
+    kind = "ld" if op.is_load else "st"
+    name = op.name or f"op{op_id}"
+    return f"{kind}#{op_id}({name}) {op.addr!r}"
+
+
+def required_pairs(
+    graph: DFGraph,
+    use_tbaa: bool = True,
+    enumeration_limit: int = DEFAULT_ENUMERATION_LIMIT,
+) -> List[Tuple[int, int, PairKind, OracleVerdict]]:
+    """Every pair the oracle requires a happens-before guarantee for.
+
+    Enumerated from scratch over all ST-ST / ST-LD / LD-ST pairs (LD-LD
+    needs no ordering in single-threaded regions) — deliberately *not*
+    from the compiler's label matrix, whose mistakes are exactly what
+    the check must survive.
+    """
+    out: List[Tuple[int, int, PairKind, OracleVerdict]] = []
+    mem = graph.memory_ops
+    for i, older in enumerate(mem):
+        for younger in mem[i + 1 :]:
+            kind = pair_kind(older, younger)
+            if kind is None:
+                continue
+            verdict = oracle_verdict(
+                graph,
+                older.op_id,
+                younger.op_id,
+                use_tbaa=use_tbaa,
+                enumeration_limit=enumeration_limit,
+            )
+            if verdict.label is not AliasLabel.NO:
+                out.append((older.op_id, younger.op_id, kind, verdict))
+    return out
+
+
+def check_sync_coverage(
+    graph: DFGraph,
+    use_tbaa: bool = True,
+    enumeration_limit: int = DEFAULT_ENUMERATION_LIMIT,
+    dropped_mdes: Optional[Set[Tuple[int, int]]] = None,
+) -> CoverageReport:
+    """Prove the installed MDE set covers every oracle-required pair.
+
+    ``dropped_mdes`` (a set of ``(src, dst)``) simulates lost edges
+    without mutating the graph — the fault-injection hook the mutation
+    and fuzzer tests use.
+    """
+    dropped = dropped_mdes or set()
+    report = CoverageReport(region=graph.name)
+
+    if dropped:
+        # Rebuild reachability with the dropped edges masked out.
+        masked = graph.clone(with_mdes=False)
+        masked.replace_mdes(
+            e for e in graph.mdes if (e.src, e.dst) not in dropped
+        )
+        reach = guaranteed_reachability(masked)
+    else:
+        reach = guaranteed_reachability(graph)
+
+    own_edge: Set[Tuple[int, int]] = {
+        (e.src, e.dst) for e in graph.mdes if (e.src, e.dst) not in dropped
+    }
+
+    for older, younger, kind, verdict in required_pairs(
+        graph, use_tbaa=use_tbaa, enumeration_limit=enumeration_limit
+    ):
+        if younger in reach[older] or (older, younger) in own_edge:
+            report.required += 1
+            report.covered += 1
+            continue
+        report.required += 1
+        report.gaps.append(
+            CoverageGap(
+                older=older,
+                younger=younger,
+                label=verdict.label,
+                kind=kind,
+                older_desc=_op_desc(graph, older),
+                younger_desc=_op_desc(graph, younger),
+            )
+        )
+    return report

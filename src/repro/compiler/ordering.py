@@ -1,0 +1,80 @@
+"""The publish-semantics ordering rule, stated once.
+
+Three consumers need to agree on exactly which enforced relations
+*guarantee* an ordering of the older op's cache publish before the
+younger op:
+
+* stage 3 (:func:`repro.compiler.aliasing.stage3.prune_stage3`) may only
+  prune a relation through edges that guarantee ordering,
+* the static verifier (:func:`repro.compiler.verify.verify_enforcement`)
+  re-derives the guaranteed-ordering relation to audit a plan, and
+* the sync-coverage checker (:mod:`repro.compiler.coverage`) proves the
+  oracle's required happens-before pairs are covered by it.
+
+PR 3 fixed an unsoundness that existed precisely because this rule was
+duplicated: pruning treated exact ST->LD MUST relations as ordering
+while enforcement lowered them to FORWARD edges, which deliver the
+store's *value* long before its *publish* completes in the cache.  The
+predicates below are the single source of truth; the three consumers
+import them, and ``tests/test_coverage_checker.py`` pins that they agree
+on every compiled region.
+
+The rule itself:
+
+* A retained **MUST** relation guarantees ordering **unless** it is a
+  forwarding candidate (exact-match ST->LD), because forwarding
+  candidates lower to FORWARD edges.
+* A retained **MAY** relation never guarantees ordering: it orders its
+  endpoints only when the runtime addresses actually conflict (NACHOS
+  lets non-conflicting pairs race).
+* Of the installed MDE kinds, only **ORDER** edges guarantee ordering;
+  FORWARD and MAY edges satisfy *their own* pair but must not appear in
+  transitive ordering chains.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.compiler.labels import AliasLabel, PairKind
+from repro.ir.graph import MDEKind
+
+
+def is_forward_candidate(
+    kind: PairKind, older: int, younger: int, exact_pairs: Set[Tuple[int, int]]
+) -> bool:
+    """Would this relation lower to a FORWARD edge rather than ORDER?
+
+    Exact-match ST->LD pairs (same address, same width, every invocation)
+    are the forwarding candidates: the load can consume the store's value
+    directly instead of waiting for the cache publish.
+    """
+    return kind is PairKind.ST_LD and (older, younger) in exact_pairs
+
+
+def relation_guarantees_order(
+    label: AliasLabel,
+    kind: PairKind,
+    older: int,
+    younger: int,
+    exact_pairs: Set[Tuple[int, int]],
+) -> bool:
+    """Does *enforcing* this retained relation order publish-before-access?
+
+    Only such relations may justify transitively pruning other relations
+    (stage 3) or count toward guaranteed reachability (verifier,
+    coverage checker).
+    """
+    return label is AliasLabel.MUST and not is_forward_candidate(
+        kind, older, younger, exact_pairs
+    )
+
+
+def edge_guarantees_order(kind: MDEKind) -> bool:
+    """Does an installed MDE of this kind guarantee ordering?
+
+    The installed-edge view of :func:`relation_guarantees_order`:
+    non-forwarding MUST relations lower to ORDER edges and nothing else
+    does, so the two predicates describe the same set of orderings.
+    """
+    return kind is MDEKind.ORDER

@@ -33,6 +33,10 @@ def stage_census(result: PipelineResult) -> List[List]:
         rows.append(
             ["stage 4 (polyhedral)"] + list(_census(result.stage4).values())
         )
+    if result.stage5 is not None:
+        rows.append(
+            ["stage 5 (separation logic)"] + list(_census(result.stage5).values())
+        )
     return rows
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 from repro.compiler.labels import AliasLabel, AliasMatrix
+from repro.compiler.ordering import edge_guarantees_order
 from repro.ir.graph import DFGraph, MDEKind
 
 
@@ -37,22 +38,29 @@ class OrderingViolation:
         )
 
 
-def _guaranteed_reachability(graph: DFGraph) -> Dict[int, Set[int]]:
-    """Reachability over data edges + ORDER MDEs only.
+def guaranteed_reachability(graph: DFGraph) -> Dict[int, Set[int]]:
+    """Reachability over data edges + ordering-guaranteeing MDEs only.
 
-    FORWARD edges deliberately do NOT contribute: a forward delivers the
-    store's *value* as soon as it is computed, typically long before the
-    store's *publish* completes in the cache, so a path through a FORWARD
-    edge does not order the store's publish before downstream accesses.
-    A FORWARD edge satisfies its own ST->LD pair (the load provably reads
-    the store's value), which ``verify_enforcement`` accepts directly.
+    Which installed edge kinds guarantee ordering is decided by
+    :func:`repro.compiler.ordering.edge_guarantees_order` (ORDER edges
+    only).  FORWARD edges deliberately do NOT contribute: a forward
+    delivers the store's *value* as soon as it is computed, typically
+    long before the store's *publish* completes in the cache, so a path
+    through a FORWARD edge does not order the store's publish before
+    downstream accesses.  A FORWARD edge satisfies its own ST->LD pair
+    (the load provably reads the store's value), which
+    ``verify_enforcement`` accepts directly.
+
+    Also used by the sync-coverage checker
+    (:mod:`repro.compiler.coverage`) to prove the oracle's required
+    happens-before pairs are enforced.
     """
     succ: Dict[int, Set[int]] = {op.op_id: set() for op in graph.ops}
     for op in graph.ops:
         for src in op.inputs:
             succ[src].add(op.op_id)
     for edge in graph.mdes:
-        if edge.kind is MDEKind.ORDER:
+        if edge_guarantees_order(edge.kind):
             succ[edge.src].add(edge.dst)
     reach: Dict[int, Set[int]] = {op.op_id: set() for op in graph.ops}
     for op in reversed(graph.ops):
@@ -60,6 +68,10 @@ def _guaranteed_reachability(graph: DFGraph) -> Dict[int, Set[int]]:
             reach[op.op_id].add(nxt)
             reach[op.op_id] |= reach[nxt]
     return reach
+
+
+#: Backwards-compatible alias (the function predates its public use).
+_guaranteed_reachability = guaranteed_reachability
 
 
 def verify_enforcement(
@@ -72,7 +84,7 @@ def verify_enforcement(
       edge (whose runtime check supplies the ordering when addresses
       conflict).
     """
-    reach = _guaranteed_reachability(graph)
+    reach = guaranteed_reachability(graph)
     direct_may: Set[Tuple[int, int]] = {
         (e.src, e.dst) for e in graph.mdes if e.kind is MDEKind.MAY
     }

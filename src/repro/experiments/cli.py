@@ -30,6 +30,10 @@ Usage::
     nachos-repro verify --fuzz 200 --engines all
                                        # + reference/fast/fast-vector
                                        # engine equivalence cross-check
+    nachos-repro verify --fuzz 200 --oracle --coverage
+                                       # + static cross-checks: stage
+                                       # verdicts vs the stage-5 oracle,
+                                       # MDE sync coverage per region
     nachos-repro verify --repro fuzz-repros/fuzz-0-41-nachos.json
                                        # rerun a shrunken failure
     nachos-repro fig11 --engine fast-vector
@@ -259,10 +263,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--coverage",
+        nargs="?",
+        const=True,
         default=None,
         metavar="PATH",
         help="for 'perf record': fold an approx_coverage --json summary "
-        "into the ledger",
+        "(PATH) into the ledger; for 'verify' (bare flag): prove each "
+        "fuzzed region's installed MDE set covers every oracle-required "
+        "happens-before pair",
     )
     parser.add_argument(
         "--serve",
@@ -321,6 +329,22 @@ def main(argv=None) -> int:
         default="fuzz-repros",
         metavar="DIR",
         help="for 'verify': where shrunken failing regions are dumped",
+    )
+    parser.add_argument(
+        "--oracle",
+        action="store_true",
+        help="for 'verify': statically cross-check every stage-1..4 "
+        "NO/MUST verdict against the stage-5 separation-logic oracle; "
+        "with --ledger, also append the suite's stage-5 precision stats",
+    )
+    parser.add_argument(
+        "--inject-stage-fault",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="for 'verify' with --oracle: flip one oracle-refutable MAY "
+        "verdict to NO per region at check time — a self-test that the "
+        "detection path fires end to end",
     )
     args = parser.parse_args(argv)
 
@@ -573,6 +597,13 @@ def _perf_command(rest, args) -> int:
             report = json.loads(Path(args.bench).read_text())
             appended.append(("bench", ledger.append(record_from_bench(report))))
         if args.coverage:
+            if args.coverage is True:  # bare flag is the 'verify' spelling
+                print(
+                    "perf record --coverage needs a PATH "
+                    "(an approx_coverage --json summary)",
+                    file=sys.stderr,
+                )
+                return 2
             summary = json.loads(Path(args.coverage).read_text())
             appended.append(
                 ("coverage", ledger.append(record_from_coverage(summary)))
@@ -739,6 +770,36 @@ def _trace_command(rest, args) -> int:
     return 0 if run.correct and counted == stats and sanitize_ok else 1
 
 
+def _stage5_suite_record():
+    """Stage-5 precision over the real workload sweep, as a ledger record.
+
+    Compiles the hottest region of every suite benchmark (no MDEs
+    installed — this is a pure analysis pass) and merges the per-region
+    :class:`~repro.compiler.aliasing.stage5.Stage5Stats`, so ``perf
+    check`` can pin how many symbolic MAY pairs the separation-logic
+    checker resolves on the sweep.
+    """
+    from repro.compiler import AliasPipeline
+    from repro.compiler.aliasing.stage5 import Stage5Stats
+    from repro.obs import capture_context, record_from_stage5
+    from repro.workloads.suite import build_suite_workloads
+
+    totals = Stage5Stats()
+    workloads = build_suite_workloads()
+    pipe = AliasPipeline()
+    for workload in workloads:
+        result = pipe.run(workload.graph, apply_mdes=False)
+        if result.stage5_stats is not None:
+            totals.merge(result.stage5_stats)
+    return record_from_stage5(
+        regions=len(workloads),
+        symbolic_pairs=totals.symbolic_pairs,
+        resolved_no=totals.resolved_no,
+        resolved_must=totals.resolved_must,
+        context=capture_context(sweep="suite-top1"),
+    )
+
+
 def _verify_command(args) -> int:
     """``nachos-repro verify [--fuzz N --seed S --systems ...]``.
 
@@ -749,21 +810,35 @@ def _verify_command(args) -> int:
     from repro.verify import fuzz, rerun, save_failure
 
     if args.repro:
+        import json as _json
+
         oracle_ok, report = rerun(Path(args.repro))
         print(report.render())
-        print(f"golden model: {'match' if oracle_ok else 'MISMATCH'}")
+        if _json.loads(Path(args.repro).read_text()).get("static"):
+            print(f"static check: {'clean' if oracle_ok else 'FIRING'}")
+        else:
+            print(f"golden model: {'match' if oracle_ok else 'MISMATCH'}")
         ok = oracle_ok and report.ok
         print(f"repro {args.repro}: {'no longer fails' if ok else 'still failing'}")
         return 0 if ok else 1
 
     from repro.verify.fuzz import BACKENDS as FUZZ_BACKENDS
 
+    if args.inject_stage_fault is not None and not args.oracle:
+        print("--inject-stage-fault requires --oracle", file=sys.stderr)
+        return 2
+    do_coverage = bool(args.coverage)
     systems = list(args.systems) if args.systems else sorted(FUZZ_BACKENDS)
     engines_note = {
         "both": " [engines: reference+fast]",
         "all": " [engines: reference+fast+fast-vector]",
     }.get(args.engines, "")
-    print(f"fuzzing systems: {', '.join(systems)}" + engines_note)
+    static_note = "".join(
+        f" [{name}]"
+        for name, on in (("oracle", args.oracle), ("coverage", do_coverage))
+        if on
+    )
+    print(f"fuzzing systems: {', '.join(systems)}" + engines_note + static_note)
     start = time.perf_counter()
     done = {"n": 0}
 
@@ -774,12 +849,18 @@ def _verify_command(args) -> int:
 
     result = fuzz(
         args.fuzz, seed=args.seed, systems=systems, progress=progress,
-        engines=args.engines,
+        engines=args.engines, oracle=args.oracle, coverage=do_coverage,
+        fault_seed=args.inject_stage_fault,
     )
     elapsed = time.perf_counter() - start
+    static_summary = (
+        f" + {result.static_checks} statically cross-checked"
+        if result.static_checks
+        else ""
+    )
     print(
         f"fuzzed {result.regions} region(s) x {len(systems)} system(s) "
-        f"({result.runs} differential runs) in {elapsed:.1f}s "
+        f"({result.runs} differential runs{static_summary}) in {elapsed:.1f}s "
         f"[seed {args.seed}]"
     )
     if args.ledger:
@@ -793,12 +874,22 @@ def _verify_command(args) -> int:
                 context=capture_context(
                     seed=args.seed, engines=args.engines,
                     systems=",".join(systems),
+                    oracle=args.oracle or None,
+                    coverage=do_coverage or None,
                 ),
             )
         )
         print(f"[ledger {ledger.path}: appended verify record {fp}]")
+        if args.oracle:
+            fp5 = ledger.append(_stage5_suite_record())
+            print(f"[ledger {ledger.path}: appended stage5 record {fp5}]")
     if result.ok:
-        print("all runs clean: golden-model match + sanitizer clean")
+        checks = ["golden-model match", "sanitizer clean"]
+        if args.oracle:
+            checks.append("no stage-1..4 oracle contradiction")
+        if do_coverage:
+            checks.append("MDE sync coverage complete")
+        print("all runs clean: " + " + ".join(checks))
         return 0
     repro_dir = Path(args.repro_dir)
     for i, failure in enumerate(result.failures):

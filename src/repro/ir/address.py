@@ -133,9 +133,40 @@ class IVar:
 
 @dataclass(frozen=True)
 class Sym:
-    """An opaque runtime value no static analysis can bound precisely."""
+    """An opaque runtime value no static analysis can resolve.
+
+    ``lo``/``hi`` optionally record an inclusive value range the front-end
+    *can* prove (e.g. an index produced by a bounded table lookup, or a
+    value masked to a power of two).  Stages 1--4 never look at the
+    bounds — symbolic offsets stay MAY there, exactly as in the paper —
+    but the stage-5 separation-logic checker uses them to bound the
+    footprint of an access and, when the joint domain is small enough,
+    to decide overlap exactly.  Both bounds must be given together;
+    an unbounded symbol has ``lo is None and hi is None``.
+    """
 
     name: str
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.lo is None) != (self.hi is None):
+            raise ValueError(
+                f"sym {self.name!r} needs both bounds or neither"
+            )
+        if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            raise ValueError(f"sym {self.name!r} has empty range [{self.lo}, {self.hi}]")
+
+    @property
+    def bounded(self) -> bool:
+        return self.lo is not None
+
+    @property
+    def domain(self) -> range:
+        """Inclusive value range as a ``range``; requires :attr:`bounded`."""
+        if self.lo is None or self.hi is None:
+            raise ValueError(f"sym {self.name!r} is unbounded")
+        return range(self.lo, self.hi + 1)
 
 
 def _normalize(terms: Mapping) -> Tuple:

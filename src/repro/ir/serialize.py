@@ -117,6 +117,10 @@ def graph_to_dict(graph: DFGraph) -> Dict[str, Any]:
             {"name": iv.name, "trip_count": iv.trip_count}
             for iv in sorted(interner.ivars.values(), key=lambda v: v.name)
         ],
+        "syms": [
+            {"name": s.name, "lo": s.lo, "hi": s.hi}
+            for s in sorted(interner.syms.values(), key=lambda v: v.name)
+        ],
     }
 
 
@@ -143,7 +147,13 @@ def graph_from_dict(payload: Dict[str, Any]) -> DFGraph:
         e["name"]: IVar(e["name"], e["trip_count"])
         for e in payload.get("ivars", [])
     }
-    syms: Dict[str, Sym] = {}
+    # The syms table (absent in payloads predating sym bounds) pins each
+    # symbol's optional value range; per-expression references fall back
+    # to an unbounded symbol of the same name.
+    syms: Dict[str, Sym] = {
+        e["name"]: Sym(e["name"], lo=e.get("lo"), hi=e.get("hi"))
+        for e in payload.get("syms", [])
+    }
 
     def affine(entry: Dict[str, Any]) -> AffineExpr:
         ivs = {ivars[name]: coeff for name, coeff in entry["ivs"]}

@@ -50,6 +50,7 @@ from repro.obs.perf import (
     record_from_profile,
     record_from_registries,
     record_from_serve,
+    record_from_stage5,
     record_from_vector,
 )
 from repro.obs.regress import (
@@ -105,6 +106,7 @@ __all__ = [
     "record_from_profile",
     "record_from_registries",
     "record_from_serve",
+    "record_from_stage5",
     "record_from_vector",
     "render_html",
     "render_markdown",

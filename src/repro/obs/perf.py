@@ -375,6 +375,34 @@ def record_from_fuzz(
     return PerfRecord(source="verify", metrics=metrics, context=ctx)
 
 
+def record_from_stage5(
+    regions: int,
+    symbolic_pairs: int,
+    resolved_no: int,
+    resolved_must: int,
+    context: Optional[Dict[str, str]] = None,
+) -> PerfRecord:
+    """Fold the stage-5 precision stats of a workload sweep into a record.
+
+    ``symbolic_pairs`` counts the MAY pairs stages 1--4 left behind
+    *because* of symbolic offsets; ``resolved_*`` count how many of
+    those the separation-logic checker cracked.  Tracked by ``perf
+    check`` so a precision regression (a refactor that stops resolving
+    the sweep's symbolic pairs) fails CI like a throughput regression.
+    """
+    resolved = resolved_no + resolved_must
+    metrics = {
+        "regions": float(regions),
+        "symbolic_pairs": float(symbolic_pairs),
+        "resolved_no": float(resolved_no),
+        "resolved_must": float(resolved_must),
+        "resolved": float(resolved),
+        "resolved_fraction": resolved / symbolic_pairs if symbolic_pairs else 0.0,
+    }
+    ctx = context if context is not None else capture_context()
+    return PerfRecord(source="stage5", metrics=metrics, context=ctx)
+
+
 def record_from_registries(
     registries: Iterable[MetricsRegistry],
     source: str = "metrics",

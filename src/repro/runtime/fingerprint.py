@@ -30,7 +30,11 @@ from repro.ir.serialize import graph_to_dict
 #: cache hits can never alias the differential equivalence checks.
 #: Schema 4: the ``fast-vector`` mode joined the mode set (its results
 #: must never alias either older mode's entries, and vice versa).
-CACHE_SCHEMA = 4
+#: Schema 5: the stage-5 separation-logic checker joined the pipeline
+#: (symbolic MAY pairs may now label NO/MUST, changing enforcement
+#: plans), graph payloads grew a sym-bounds table, and configs grew
+#: ``use_stage5`` — older entries must not be replayed.
+CACHE_SCHEMA = 5
 
 
 def _canonical_json(obj: Any) -> str:

@@ -7,7 +7,11 @@ The static layer (:mod:`repro.compiler.verify`) audits the enforcement
   against the per-backend happens-before contract.
 * :func:`repro.verify.fuzz.fuzz` — generate adversarial regions and
   differentially run every backend against ``golden_execute`` and the
-  sanitizer, shrinking failures to minimal repros.
+  sanitizer, shrinking failures to minimal repros.  With
+  ``oracle=True`` / ``coverage=True`` each region is additionally
+  cross-checked *statically*: every stage-1..4 NO/MUST verdict against
+  the stage-5 separation-logic oracle, and the installed MDE set
+  against the oracle's required happens-before pairs.
 * :mod:`repro.verify.reproduce` — save/load/rerun shrunken repros.
 
 See ``docs/verification.md``.
@@ -19,7 +23,10 @@ from repro.verify.fuzz import (
     FuzzResult,
     MemOpSpec,
     RegionSpec,
+    StaticContradiction,
     build_graph,
+    coverage_gaps_spec,
+    crosscheck_stages,
     fuzz,
     generate_spec,
     run_spec,
@@ -40,7 +47,10 @@ __all__ = [
     "RegionSpec",
     "SanitizerReport",
     "SanitizerViolation",
+    "StaticContradiction",
     "build_graph",
+    "coverage_gaps_spec",
+    "crosscheck_stages",
     "fuzz",
     "generate_spec",
     "load_repro",

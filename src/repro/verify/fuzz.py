@@ -10,13 +10,26 @@ runs each one under every backend, checking both oracles:
 * **timing**: :func:`repro.verify.sanitizer.sanitize_trace` over the
   traced event stream.
 
+and — when enabled — two *static* cross-checks that need no execution
+at all:
+
+* **alias oracle** (``oracle=True``): every stage-1..4 NO/MUST verdict
+  is compared against the independent stage-5 separation-logic oracle
+  (:func:`repro.compiler.aliasing.stage5.oracle_verdict`); a
+  contradiction means a compiler stage is unsound.
+* **sync coverage** (``coverage=True``): the compiled MDE set must
+  cover every happens-before pair the oracle requires
+  (:func:`repro.compiler.coverage.check_sync_coverage`).
+
 Any failure is shrunk to a locally-minimal region (greedy delta
 debugging over ops, invocations, and op attributes) and reported as a
 :class:`FuzzFailure` that :mod:`repro.verify.reproduce` can serialize
 into a standalone JSON repro.
 
 Everything is deterministic in the seed: region *k* of ``--seed S`` is
-``RegionSpec`` generated from ``random.Random(S * 1_000_003 + k)``.
+``RegionSpec`` generated from ``random.Random(S * 1_000_003 + k)``;
+symbol bounds come from an independent second stream so the op/env
+streams of historical seeds are unchanged.
 """
 
 from __future__ import annotations
@@ -28,6 +41,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cgra.placement import place_region
 from repro.compiler import compile_region
+from repro.compiler.aliasing.stage5 import OracleVerdict, oracle_verdict
+from repro.compiler.coverage import CoverageGap, check_sync_coverage
+from repro.compiler.labels import AliasLabel, AliasMatrix
 from repro.ir import AffineExpr, MemObject, RegionBuilder, Sym
 from repro.memory import MemoryHierarchy
 from repro.obs.tracer import Tracer
@@ -76,12 +92,21 @@ class MemOpSpec:
 
 @dataclass(frozen=True)
 class RegionSpec:
-    """A fuzzed region: ops + invocation environments, fully declarative."""
+    """A fuzzed region: ops + invocation environments, fully declarative.
+
+    ``sym_bounds`` optionally declares an inclusive value range per
+    symbol name (region-level, so every op sharing the symbol sees the
+    same :class:`~repro.ir.address.Sym`).  Declared bounds must contain
+    every environment's value for that symbol — they feed the stage-5
+    checker, and a violated bound would make its verdicts wrong rather
+    than the backends'.
+    """
 
     name: str
     ops: Tuple[MemOpSpec, ...]
     envs: Tuple[Tuple[Tuple[str, int], ...], ...]  # sorted (key, value) pairs
     size: int = 4096
+    sym_bounds: Tuple[Tuple[str, Tuple[int, int]], ...] = ()
 
     def env_dicts(self) -> List[Dict[str, int]]:
         return [dict(pairs) for pairs in self.envs]
@@ -89,7 +114,14 @@ class RegionSpec:
 
 @dataclass
 class FuzzFailure:
-    """One backend disagreeing with an oracle on one region."""
+    """One backend (or static checker) disagreeing with an oracle.
+
+    Dynamic failures (a backend against the golden model / sanitizer /
+    engine equivalence) have ``static_kind is None``.  Static failures
+    carry ``system="static"``, ``static_kind`` in ``{"oracle",
+    "coverage"}``, the located findings, and — for injected faults —
+    the ``fault_seed`` that reproduces the flipped verdict.
+    """
 
     spec: RegionSpec
     system: str
@@ -98,15 +130,27 @@ class FuzzFailure:
     shrunk_from: Optional[int] = None  # op count before shrinking
     engine_divergence: bool = False    # reference vs fast-mode results differ
     diverged_mode: Optional[str] = None  # which fast mode diverged
+    static_kind: Optional[str] = None    # "oracle" | "coverage"
+    static_findings: Tuple[str, ...] = ()
+    fault_seed: Optional[int] = None     # seeded stage-fault that was injected
 
     def describe(self) -> str:
         parts = [f"{self.system} failed on {self.spec.name} "
                  f"({len(self.spec.ops)} mem ops, {len(self.spec.envs)} inv)"]
+        if self.static_kind == "oracle":
+            parts.append("  stage verdict contradicts the separation-logic "
+                         "oracle" + (f" [injected fault seed {self.fault_seed}]"
+                                     if self.fault_seed is not None else ""))
+        elif self.static_kind == "coverage":
+            parts.append("  compiled MDE set leaves oracle-required "
+                         "happens-before pairs uncovered")
+        for finding in self.static_findings[:5]:
+            parts.append(f"  {finding}")
         if self.engine_divergence:
             mode = self.diverged_mode or "fast"
             parts.append(f"  engine divergence: reference and {mode!r} "
                          "modes produced different SimResults")
-        if not self.oracle_ok:
+        if self.static_kind is None and not self.oracle_ok:
             parts.append("  golden-model mismatch (wrong load value or "
                          "final memory image)")
         if not self.sanitizer.ok:
@@ -123,6 +167,7 @@ class FuzzResult:
 
     regions: int = 0
     runs: int = 0
+    static_checks: int = 0  # regions also cross-checked statically
     failures: List[FuzzFailure] = field(default_factory=list)
 
     @property
@@ -196,7 +241,20 @@ def generate_spec(seed: int, index: int) -> RegionSpec:
         for s in syms:
             env[s] = rng.choice(SYM_VALUES)
         envs.append(tuple(sorted(env.items())))
-    return RegionSpec(name=f"fuzz-{seed}-{index}", ops=ops_tuple(ops), envs=tuple(envs))
+    # Symbol bounds come from an independent stream so the op/env streams
+    # above stay byte-identical for historical seeds.  Half the symbols
+    # get the tight (and true: SYM_VALUES ⊆ [0, 8]) declared range, which
+    # arms the stage-5 enumeration and interval paths.
+    rng_bounds = random.Random(seed * 1_000_003 + index + 987_654_321)
+    sym_bounds = tuple(
+        (s, (0, max(SYM_VALUES))) for s in syms if rng_bounds.random() < 0.5
+    )
+    return RegionSpec(
+        name=f"fuzz-{seed}-{index}",
+        ops=ops_tuple(ops),
+        envs=tuple(envs),
+        sym_bounds=sym_bounds,
+    )
 
 
 def ops_tuple(ops: Sequence[MemOpSpec]) -> Tuple[MemOpSpec, ...]:
@@ -208,10 +266,21 @@ def build_graph(spec: RegionSpec):
     obj = MemObject("a", spec.size, base_addr=0x1000)
     b = RegionBuilder(spec.name)
     x = b.input("x")
+    # One canonical Sym per name: bounds live on the Sym, and AffineExpr
+    # cancellation needs every op sharing a name to share the object.
+    bounds = dict(spec.sym_bounds)
+    sym_objs: Dict[str, Sym] = {}
+
+    def sym_of(name: str) -> Sym:
+        if name not in sym_objs:
+            lo, hi = bounds.get(name, (None, None))
+            sym_objs[name] = Sym(name, lo=lo, hi=hi)
+        return sym_objs[name]
+
     last_load = None
     for i, m in enumerate(spec.ops):
         if m.sym is not None:
-            expr = AffineExpr.of(const=m.offset, syms={Sym(m.sym): m.stride})
+            expr = AffineExpr.of(const=m.offset, syms={sym_of(m.sym): m.stride})
         else:
             expr = AffineExpr.constant(m.offset)
         inputs: List = []
@@ -340,6 +409,153 @@ def check_spec(
 
 
 # ----------------------------------------------------------------------
+# Static cross-checks: stage verdicts vs the oracle, MDE sync coverage
+# ----------------------------------------------------------------------
+def _op_desc(graph, op_id: int) -> str:
+    op = graph.op(op_id)
+    kind = "ld" if op.is_load else "st"
+    name = op.name or f"op{op_id}"
+    return f"{kind}#{op_id}({name}) {op.addr!r}"
+
+
+@dataclass(frozen=True)
+class StaticContradiction:
+    """A stage-1..4 NO/MUST verdict the separation-logic oracle refutes.
+
+    The oracle is at least as precise as stages 1--4 (same TBAA axiom,
+    heaplets subsuming stage-2 provenance, the same enumeration budget),
+    so on a sound compiler no contradiction can fire: a stage ``NO``
+    with the oracle proving overlap possible, or a stage ``MUST`` with
+    the oracle proving disjointness possible, means the *stage* is
+    wrong.
+    """
+
+    stage: str
+    older: int
+    younger: int
+    stage_label: AliasLabel
+    oracle: OracleVerdict
+    older_desc: str
+    younger_desc: str
+
+    def __str__(self) -> str:
+        if self.stage_label is AliasLabel.NO:
+            why = "the oracle proves the pair can overlap"
+        else:
+            why = "the oracle proves the pair can be disjoint"
+        return (
+            f"{self.stage} labeled {self.stage_label.value.upper()} but {why}: "
+            f"{self.older_desc} vs {self.younger_desc} "
+            f"[oracle: {self.oracle.label.value.upper()} "
+            f"via {self.oracle.decided_by}]"
+        )
+
+
+def _stage_matrices(result) -> List[Tuple[str, AliasMatrix]]:
+    """The stage-1..4 matrices of one compilation, in refinement order."""
+    out: List[Tuple[str, AliasMatrix]] = [("stage 1", result.stage1)]
+    if result.stage2 is not None:
+        out.append(("stage 2", result.stage2))
+    if result.stage4 is not None:
+        out.append(("stage 4", result.stage4))
+    return out
+
+
+def _eligible_fault_pairs(graph, matrix: AliasMatrix) -> List[Tuple[int, int]]:
+    """MAY pairs the oracle *knows* can overlap.
+
+    Flipping one of these to NO is a guaranteed-detectable unsoundness:
+    the injected fault contradicts positive oracle knowledge, never a
+    both-sides-uncertain stalemate.
+    """
+    out: List[Tuple[int, int]] = []
+    for older, younger in matrix.pairs(AliasLabel.MAY):
+        v = oracle_verdict(graph, older, younger)
+        if v.label is AliasLabel.MUST or v.can_overlap is True:
+            out.append((older, younger))
+    return out
+
+
+def crosscheck_stages(
+    spec: RegionSpec, fault_seed: Optional[int] = None
+) -> List[StaticContradiction]:
+    """Cross-check every stage-1..4 NO/MUST verdict against the oracle.
+
+    With ``fault_seed`` set, one eligible MAY pair of the final
+    stage-1..4 matrix is flipped to NO *in a copy, at check time* — the
+    executed enforcement is untouched — which must surface as a
+    contradiction whenever the region has an eligible pair at all.
+    """
+    graph = build_graph(spec)
+    result = compile_region(graph)
+    matrices = _stage_matrices(result)
+    if fault_seed is not None:
+        faulted = result.pre_stage5_labels.copy()
+        eligible = _eligible_fault_pairs(graph, faulted)
+        if eligible:
+            older, younger = eligible[fault_seed % len(eligible)]
+            faulted.set(older, younger, AliasLabel.NO)
+            matrices.append(("injected stage fault", faulted))
+    cache: Dict[Tuple[int, int], OracleVerdict] = {}
+    contradictions: List[StaticContradiction] = []
+    for stage_name, matrix in matrices:
+        for (older, younger), label in matrix:
+            if label is AliasLabel.MAY:
+                continue  # MAY can never contradict the oracle
+            verdict = cache.get((older, younger))
+            if verdict is None:
+                verdict = oracle_verdict(graph, older, younger)
+                cache[(older, younger)] = verdict
+            unsound_no = label is AliasLabel.NO and (
+                verdict.label is AliasLabel.MUST or verdict.can_overlap is True
+            )
+            unsound_must = label is AliasLabel.MUST and (
+                verdict.label is AliasLabel.NO or verdict.always_overlaps is False
+            )
+            if unsound_no or unsound_must:
+                contradictions.append(
+                    StaticContradiction(
+                        stage=stage_name,
+                        older=older,
+                        younger=younger,
+                        stage_label=label,
+                        oracle=verdict,
+                        older_desc=_op_desc(graph, older),
+                        younger_desc=_op_desc(graph, younger),
+                    )
+                )
+    return contradictions
+
+
+def coverage_gaps_spec(spec: RegionSpec) -> List[CoverageGap]:
+    """Compile *spec* and sync-coverage-check the installed MDE set."""
+    graph = build_graph(spec)
+    compile_region(graph)
+    return list(check_sync_coverage(graph).gaps)
+
+
+def _static_oracle_fails(
+    fault_seed: Optional[int],
+) -> Callable[[RegionSpec, str], bool]:
+    """Shrink predicate factory for oracle contradictions."""
+
+    def fails(spec: RegionSpec, system: str) -> bool:
+        try:
+            return bool(crosscheck_stages(spec, fault_seed=fault_seed))
+        except Exception:
+            return False  # a repro must contradict, not crash elsewhere
+    return fails
+
+
+def _static_coverage_fails(spec: RegionSpec, system: str) -> bool:
+    """Shrink predicate: does *spec* still have a coverage gap?"""
+    try:
+        return bool(coverage_gaps_spec(spec))
+    except Exception:
+        return False
+
+
+# ----------------------------------------------------------------------
 # Shrinking
 # ----------------------------------------------------------------------
 def _still_fails(spec: RegionSpec, system: str) -> bool:
@@ -423,6 +639,9 @@ def fuzz(
     shrink_failures: bool = True,
     max_failures: int = 5,
     engines: str = "reference",
+    oracle: bool = False,
+    coverage: bool = False,
+    fault_seed: Optional[int] = None,
 ) -> FuzzResult:
     """Run *count* regions through the differential harness.
 
@@ -433,6 +652,14 @@ def fuzz(
     divergence is reported (and shrunk) like any other failure, with
     :attr:`FuzzFailure.engine_divergence` set and
     :attr:`FuzzFailure.diverged_mode` naming the mode that broke.
+
+    ``oracle=True`` cross-checks every stage-1..4 NO/MUST verdict of
+    every region against the separation-logic oracle;
+    ``coverage=True`` sync-coverage-checks each region's installed MDE
+    set.  Both are static — no extra executions.  ``fault_seed``
+    (requires ``oracle``) flips one oracle-refutable MAY verdict to NO
+    per region at check time, exercising the detection path end to end;
+    regions with no refutable pair pass through unchanged.
     """
     systems = list(systems) if systems else sorted(BACKENDS)
     for s in systems:
@@ -445,6 +672,8 @@ def fuzz(
             f"unknown engines selection {engines!r}; "
             f"expected one of {sorted(_ENGINES_UNDER_TEST)}"
         )
+    if fault_seed is not None and not oracle:
+        raise ValueError("fault_seed requires oracle=True")
     result = FuzzResult()
     runs_per_pair = 1 + len(_ENGINES_UNDER_TEST[engines])
     for k in range(count):
@@ -453,6 +682,63 @@ def fuzz(
         spec = generate_spec(seed, k)
         result.regions += 1
         result.runs += len(systems) * runs_per_pair
+        if oracle or coverage:
+            result.static_checks += 1
+            static_failures: List[FuzzFailure] = []
+            if oracle:
+                contras = crosscheck_stages(spec, fault_seed=fault_seed)
+                if contras:
+                    static_failures.append(
+                        FuzzFailure(
+                            spec,
+                            "static",
+                            True,
+                            SanitizerReport(backend="static", region=spec.name),
+                            static_kind="oracle",
+                            static_findings=tuple(str(c) for c in contras),
+                            fault_seed=fault_seed,
+                        )
+                    )
+            if coverage:
+                gaps = coverage_gaps_spec(spec)
+                if gaps:
+                    static_failures.append(
+                        FuzzFailure(
+                            spec,
+                            "static",
+                            True,
+                            SanitizerReport(backend="static", region=spec.name),
+                            static_kind="coverage",
+                            static_findings=tuple(str(g) for g in gaps),
+                        )
+                    )
+            for failure in static_failures:
+                if shrink_failures:
+                    n_before = len(failure.spec.ops)
+                    if failure.static_kind == "oracle":
+                        small = shrink(
+                            failure.spec,
+                            "static",
+                            fails=_static_oracle_fails(fault_seed),
+                        )
+                        findings = tuple(
+                            str(c)
+                            for c in crosscheck_stages(small, fault_seed=fault_seed)
+                        )
+                    else:
+                        small = shrink(
+                            failure.spec, "static", fails=_static_coverage_fails
+                        )
+                        findings = tuple(str(g) for g in coverage_gaps_spec(small))
+                    failure = replace(
+                        failure,
+                        spec=small,
+                        shrunk_from=n_before,
+                        static_findings=findings,
+                    )
+                result.failures.append(failure)
+                if len(result.failures) >= max_failures:
+                    return result
         for failure in check_spec(spec, systems, engines=engines):
             if shrink_failures and failure.engine_divergence:
                 n_before = len(failure.spec.ops)

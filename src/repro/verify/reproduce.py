@@ -2,11 +2,16 @@
 
 A repro file is a complete, self-describing record of one failing
 (region, system) pair: the declarative :class:`~repro.verify.fuzz.RegionSpec`
-(ops, environments, object size) plus the failing system and the
-violations observed when it was captured.  ``nachos-repro verify
+(ops, environments, object size, symbol bounds) plus the failing system
+and the violations observed when it was captured.  ``nachos-repro verify
 --repro FILE`` re-materializes the region and re-runs the differential
 check, so a failure found on one machine replays exactly anywhere —
 the spec is content, not pickled state.
+
+Static failures (the oracle cross-check and the sync-coverage check)
+serialize the same way, with a ``static`` block recording which checker
+fired and — for injected stage faults — the ``fault_seed`` that
+deterministically re-flips the same verdict on replay.
 """
 
 from __future__ import annotations
@@ -20,14 +25,17 @@ from repro.verify.fuzz import (
     FuzzFailure,
     MemOpSpec,
     RegionSpec,
+    coverage_gaps_spec,
+    crosscheck_stages,
     run_spec,
 )
+from repro.verify.sanitizer import SanitizerReport
 
 FORMAT = "nachos-repro/fuzz-repro@1"
 
 
 def failure_to_dict(failure: FuzzFailure) -> dict:
-    return {
+    payload = {
         "format": FORMAT,
         "system": failure.system,
         "oracle_ok": failure.oracle_ok,
@@ -40,8 +48,18 @@ def failure_to_dict(failure: FuzzFailure) -> dict:
             "envs": [
                 {k: v for k, v in pairs} for pairs in failure.spec.envs
             ],
+            "sym_bounds": {
+                name: [lo, hi] for name, (lo, hi) in failure.spec.sym_bounds
+            },
         },
     }
+    if failure.static_kind is not None:
+        payload["static"] = {
+            "kind": failure.static_kind,
+            "fault_seed": failure.fault_seed,
+            "findings": list(failure.static_findings),
+        }
+    return payload
 
 
 def save_failure(failure: FuzzFailure, path: Path) -> Path:
@@ -66,20 +84,38 @@ def load_repro(path: Path) -> Tuple[RegionSpec, str]:
         envs=tuple(
             tuple(sorted(env.items())) for env in raw["envs"]
         ),
+        sym_bounds=tuple(
+            sorted(
+                (name, (lo, hi))
+                for name, (lo, hi) in raw.get("sym_bounds", {}).items()
+            )
+        ),
     )
     return spec, payload["system"]
 
 
-def rerun(path: Path) -> Tuple[bool, "SanitizerReport"]:
+def rerun(path: Path) -> Tuple[bool, SanitizerReport]:
     """Re-execute a saved repro; returns (oracle_ok, sanitizer_report).
 
     A repro saved from an engine-divergence failure re-checks
     reference-vs-fast equivalence as well — it "still fails" until the
-    modes agree again, folded into the returned ok flag.
+    modes agree again, folded into the returned ok flag.  A *static*
+    repro re-runs its checker (re-injecting the recorded fault seed, if
+    any) instead of executing: ok means the checker no longer fires.
     """
     spec, system = load_repro(path)
+    payload = json.loads(Path(path).read_text())
+    static = payload.get("static")
+    if static is not None:
+        if static["kind"] == "oracle":
+            findings = crosscheck_stages(spec, fault_seed=static["fault_seed"])
+        else:
+            findings = coverage_gaps_spec(spec)
+        report = SanitizerReport(backend="static", region=spec.name)
+        report.violations.extend(str(f) for f in findings)
+        return not findings, report
     oracle_ok, report = run_spec(spec, system)
-    if json.loads(Path(path).read_text()).get("engine_divergence"):
+    if payload.get("engine_divergence"):
         from repro.verify.fuzz import _modes_diverge
 
         oracle_ok = oracle_ok and not _modes_diverge(spec, system)

@@ -127,7 +127,10 @@ class _RegionPlanner:
         )
 
     def _sym(self, name: str) -> Sym:
-        s = Sym(f"{name}")
+        # Data-dependent indices are drawn from [0, indirect_range) by
+        # Workload.invocations, so the declared bound is always true;
+        # it is what arms stage-5 enumeration over the index domain.
+        s = Sym(f"{name}", lo=0, hi=self.spec.indirect_range - 1)
         self.syms.append(s)
         return s
 
@@ -267,13 +270,24 @@ class _RegionPlanner:
                 )
 
         elif mech is Mechanism.INDIRECT:
+            # Field-structured records: op k reads field k%fields of
+            # record ``sym``, so the table is an array of
+            # ``indirect_fields``-word records and cross-field ops are
+            # disjoint by construction (stage-5 material; fields=1 is
+            # the classic fully-ambiguous ``a[b[i]]`` shape).
+            fields = max(1, spec.indirect_fields)
             if spec.indirect_on_shared and self._shared is not None:
                 obj = self._shared
+                fields = 1  # shared-array indexing has no record shape
             else:
-                obj = self._object("table", spec.indirect_range * _WIDTH + 64)
+                obj = self._object(
+                    "table", spec.indirect_range * _WIDTH * fields + 64
+                )
             for k in range(count):
                 sym = self._sym(f"{self.spec.name}.s{self.path_index}.{k}")
-                offset = AffineExpr.of(syms={sym: _WIDTH})
+                offset = AffineExpr.of(
+                    const=(k % fields) * _WIDTH, syms={sym: fields * _WIDTH}
+                )
                 plans.append(
                     _MemPlan(False, AddressExpr(obj, offset, _WIDTH), mech)
                 )

@@ -64,6 +64,13 @@ class BenchmarkSpec:
     trip_count: int = 1024
     #: Value range of data-dependent indices (small => real conflicts).
     indirect_range: int = 64
+    #: Record width (in 8-byte fields) of the indirectly-indexed table:
+    #: op *k* touches field ``k % indirect_fields`` of record
+    #: ``index``, i.e. ``a[fields*index + k%fields]``.  With > 1 field,
+    #: cross-field pairs are provably disjoint — but only to an analysis
+    #: that reasons about symbolic strides modulo the record width (the
+    #: stage-5 separation-logic checker); stages 1--4 keep them MAY.
+    indirect_fields: int = 1
     #: INDIRECT ops index the STRIDED shared array instead of their own
     #: table: a few ambiguous ops MAY-alias *many* mutually-disjoint
     #: strided ops — the bzip2/sar-pfa high-fan-in shape of Figure 14.

@@ -186,8 +186,10 @@ SUITE: List[BenchmarkSpec] = [
         name="freqmine", suite="parsec", n_ops=109, n_mem=32, mlp=4,
         dep_st_ld=8, pct_local=17, store_frac=0.35,
         mechanism_mix=_mix(param_resolvable=0.4, indirect=0.3, strided=0.3),
-        indirect_range=512,
-        notes="NACHOS-SW slowdown group; NACHOS recovers",
+        indirect_range=512, indirect_fields=2,
+        notes="NACHOS-SW slowdown group; NACHOS recovers; itemset table "
+        "is 2-field records, so cross-field indirect pairs are stage-5 "
+        "NOs while same-field ones stay MAY",
         stride=64,
     ),
     BenchmarkSpec(

@@ -97,7 +97,7 @@ class TestCompilationReport:
         g = build_may_region()
         result = compile_region(g)
         rows = stage_census(result)
-        assert len(rows) == 3  # stages 1, 2, 4 under the full config
+        assert len(rows) == 4  # stages 1, 2, 4, 5 under the full config
         for row in rows:
             assert sum(row[1:]) == result.total_pairs
 

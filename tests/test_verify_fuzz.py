@@ -112,3 +112,106 @@ def test_cli_verify_subset_of_systems(capsys):
     rc = main(["verify", "--fuzz", "3", "--seed", "1", "--systems", "nachos"])
     assert rc == 0
     assert "nachos" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Static cross-checks: the stage-5 oracle + sync coverage in the loop
+# ----------------------------------------------------------------------
+class TestStaticCrossChecks:
+    def test_200_region_campaign_finds_no_unsoundness_on_main(self):
+        """The acceptance campaign: every stage-1..4 NO/MUST verdict of
+        200 fixed-seed regions agrees with the separation-logic oracle,
+        and every compiled MDE set covers the oracle's required pairs."""
+        from repro.verify import fuzz as fuzz_fn
+
+        result = fuzz_fn(
+            200, seed=0, systems=["serial-mem"], oracle=True, coverage=True
+        )
+        assert result.static_checks == 200
+        assert result.ok, [f.describe() for f in result.failures]
+
+    def test_fault_injection_is_caught_shrunk_and_recheckable(self, tmp_path):
+        from repro.verify import crosscheck_stages
+        from repro.verify import fuzz as fuzz_fn
+
+        result = fuzz_fn(
+            20, seed=7, systems=["serial-mem"], oracle=True,
+            fault_seed=3, max_failures=1,
+        )
+        assert result.failures, "an eligible region must trip the fault"
+        failure = result.failures[0]
+        assert failure.system == "static"
+        assert failure.static_kind == "oracle"
+        assert failure.fault_seed == 3
+        assert failure.static_findings  # located finding survives the shrink
+        assert "oracle" in failure.describe()
+        assert failure.shrunk_from is not None
+        assert len(failure.spec.ops) <= failure.shrunk_from
+        assert len(failure.spec.ops) >= 2  # a pair is the floor
+
+        # The standalone JSON repro re-checks: still failing with the
+        # recorded fault seed, clean without it.
+        path = save_failure(failure, tmp_path / "static-repro.json")
+        still_ok, report = rerun(path)
+        assert not still_ok
+        assert not report.ok and report.backend == "static"
+        assert crosscheck_stages(failure.spec) == []
+
+    def test_coverage_only_campaign(self):
+        from repro.verify import fuzz as fuzz_fn
+
+        result = fuzz_fn(25, seed=3, systems=["serial-mem"], coverage=True)
+        assert result.static_checks == 25
+        assert result.ok
+
+    def test_fault_seed_requires_oracle(self):
+        from repro.verify import fuzz as fuzz_fn
+
+        with pytest.raises(ValueError):
+            fuzz_fn(1, systems=["serial-mem"], fault_seed=1)
+
+    def test_sym_bounds_contain_every_env_value(self):
+        # The invariant the static checkers lean on: a declared bound
+        # that an environment violates would corrupt oracle verdicts.
+        for k in range(60):
+            spec = generate_spec(11, k)
+            bounds = dict(spec.sym_bounds)
+            for pairs in spec.envs:
+                for name, value in pairs:
+                    if name in bounds:
+                        lo, hi = bounds[name]
+                        assert lo <= value <= hi
+
+
+class TestStaticCLI:
+    def test_cli_oracle_coverage_clean(self, capsys):
+        rc = main([
+            "verify", "--fuzz", "10", "--systems", "serial-mem",
+            "--oracle", "--coverage",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "statically cross-checked" in out
+        assert "oracle contradiction" in out
+        assert "sync coverage" in out
+
+    def test_cli_fault_injection_writes_repro(self, tmp_path, capsys):
+        rc = main([
+            "verify", "--fuzz", "5", "--seed", "7", "--systems", "serial-mem",
+            "--oracle", "--inject-stage-fault", "3",
+            "--repro-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "injected fault seed 3" in out
+        repros = list(tmp_path.glob("*.json"))
+        assert repros
+        still_ok, report = rerun(repros[0])
+        assert not still_ok and not report.ok
+
+    def test_cli_fault_without_oracle_is_an_error(self, capsys):
+        rc = main([
+            "verify", "--fuzz", "1", "--systems", "serial-mem",
+            "--inject-stage-fault", "3",
+        ])
+        assert rc == 2
